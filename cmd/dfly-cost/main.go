@@ -1,0 +1,61 @@
+// dfly-cost reproduces the paper's cost studies: the cable cost model of
+// Figure 2 and Table 1, the 64K-node topology comparison of Figure 18,
+// the cost-per-node curves of Figure 19, and Table 2's hop/cable
+// comparison. With -n it also prints a detailed cost breakdown for one
+// machine size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dragonfly/internal/cost"
+	"dragonfly/internal/experiments"
+)
+
+func main() {
+	n := flag.Int("n", 0, "print a detailed breakdown for this machine size (0 = skip)")
+	flag.Parse()
+
+	for _, mk := range []func() (experiments.Exhibit, error){
+		func() (experiments.Exhibit, error) { return experiments.Table01(), nil },
+		func() (experiments.Exhibit, error) { return experiments.Fig02(), nil },
+		func() (experiments.Exhibit, error) { t, err := experiments.Fig18(); return t, err },
+		func() (experiments.Exhibit, error) { f, err := experiments.Fig19(); return f, err },
+		func() (experiments.Exhibit, error) { return experiments.Table02(), nil },
+	} {
+		e, err := mk()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dfly-cost:", err)
+			os.Exit(1)
+		}
+		e.Render(os.Stdout)
+	}
+
+	if *n > 0 {
+		m := cost.DefaultModel()
+		fmt.Printf("== Breakdown at N=%d ==\n", *n)
+		type gen struct {
+			name string
+			fn   func(int) (cost.Breakdown, error)
+		}
+		for _, g := range []gen{
+			{"dragonfly", m.Dragonfly},
+			{"flattened butterfly", m.FlattenedButterfly},
+			{"folded Clos", m.FoldedClos},
+			{"3-D torus", m.Torus3D},
+		} {
+			b, err := g.fn(*n)
+			if err != nil {
+				fmt.Printf("%-20s %v\n", g.name, err)
+				continue
+			}
+			fmt.Printf("%-20s $%.2f/node  (routers $%.2f, terminal $%.2f, local $%.2f, global $%.2f; %d global cables avg %.1fm)\n",
+				g.name, b.PerNode(),
+				b.RouterCost/float64(b.Nodes), b.TerminalCost/float64(b.Nodes),
+				b.LocalCost/float64(b.Nodes), b.GlobalCost/float64(b.Nodes),
+				b.GlobalChannels, b.AvgGlobalLenM)
+		}
+	}
+}

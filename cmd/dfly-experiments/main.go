@@ -1,0 +1,58 @@
+// dfly-experiments regenerates the paper's tables and figures. By
+// default it runs everything at paper scale (the 1K-node evaluation
+// network, full warm-up); -quick switches to a reduced scale for smoke
+// runs, and positional arguments select individual exhibits:
+//
+//	dfly-experiments                 # everything, paper scale
+//	dfly-experiments -quick fig8     # one experiment, reduced scale
+//	dfly-experiments -list           # show experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dragonfly/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced scale: small network, short phases")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+
+	scale := experiments.Paper()
+	if *quick {
+		scale = experiments.Quick()
+	}
+	r := experiments.Runner{Scale: scale}
+	if !*quiet {
+		r.Log = os.Stderr
+	}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		if err := r.RunAll(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dfly-experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, name := range names {
+		exhibits, err := r.Run(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dfly-experiments:", err)
+			os.Exit(1)
+		}
+		for _, e := range exhibits {
+			e.Render(os.Stdout)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// dfly-scale prints the scalability analytics of Figures 1 and 4: the
+// router radix a one-global-hop flat network would need, the balanced
+// dragonfly's reach per radix, and — with -k or -n — the balanced
+// configuration for a specific router or machine size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dragonfly/internal/experiments"
+	"dragonfly/internal/topology"
+)
+
+func main() {
+	k := flag.Int("k", 0, "show the balanced dragonfly for this router radix")
+	n := flag.Int("n", 0, "show the smallest balanced dragonfly reaching this many nodes")
+	flag.Parse()
+
+	experiments.Fig01().Render(os.Stdout)
+	experiments.Fig04().Render(os.Stdout)
+	experiments.Fig06().Render(os.Stdout)
+
+	if *n > 0 {
+		*k = topology.BalancedRadixForNodes(*n)
+		fmt.Printf("smallest balanced radix for %d nodes: %d\n", *n, *k)
+	}
+	if *k > 0 {
+		p, a, h := topology.BalancedParams(*k)
+		if h == 0 {
+			fmt.Printf("radix %d is too small for a dragonfly\n", *k)
+			return
+		}
+		d, err := topology.NewDragonfly(p, a, h, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dfly-scale:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("balanced dragonfly for radix %d: %v\n", *k, d)
+		fmt.Printf("  groups: %d, routers: %d, diameter: 3 (local+global+local)\n", d.G, d.Routers())
+	}
+}

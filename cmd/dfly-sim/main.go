@@ -1,0 +1,111 @@
+// dfly-sim runs a single dragonfly simulation and prints its
+// measurements: latency (average and split by routing decision),
+// accepted throughput, and saturation state.
+//
+// Usage:
+//
+//	dfly-sim -alg UGAL-L_VCH -pattern WC -load 0.3 -p 4 -a 8 -h 4 -buf 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dragonfly/internal/core"
+	"dragonfly/internal/sim"
+)
+
+func main() {
+	var (
+		algName = flag.String("alg", "UGAL-L_VCH", "routing algorithm (MIN, VAL, UGAL-L, UGAL-G, UGAL-L_VC, UGAL-L_VCH, UGAL-L_CR)")
+		pattern = flag.String("pattern", "UR", "traffic pattern (UR, WC, BitComplement, Tornado, Permutation)")
+		load    = flag.Float64("load", 0.3, "offered load in flits/cycle/terminal")
+		p       = flag.Int("p", 4, "terminals per router")
+		a       = flag.Int("a", 8, "routers per group")
+		h       = flag.Int("h", 4, "global channels per router")
+		groups  = flag.Int("g", 0, "groups (0 = maximal a*h+1)")
+		buf     = flag.Int("buf", 16, "input buffer depth per VC (flits)")
+		warmup  = flag.Int("warmup", 3000, "warm-up cycles")
+		measure = flag.Int("measure", 2000, "measurement cycles")
+		drain   = flag.Int("drain", 20000, "drain cycle cap")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		hist    = flag.Bool("hist", false, "print the latency histogram")
+	)
+	flag.Parse()
+
+	alg, err := core.ParseAlgorithm(*algName)
+	if err != nil {
+		fatal(err)
+	}
+	pat, err := core.ParsePattern(*pattern)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := core.NewSystem(core.SystemConfig{
+		P: *p, A: *a, H: *h, Groups: *groups, BufDepth: *buf, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("simulating %v, %s routing, %s traffic, load %.3f\n", sys.Topo, alg, pat, *load)
+
+	rc := sim.RunConfig{
+		WarmupCycles:  *warmup,
+		MeasureCycles: *measure,
+		DrainCycles:   *drain,
+		Histogram:     *hist,
+	}
+	res, err := sys.Run(alg, pat, *load, rc)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("offered load:      %.3f flits/cycle/terminal\n", res.Offered)
+	fmt.Printf("accepted load:     %.3f flits/cycle/terminal\n", res.Accepted)
+	fmt.Printf("avg latency:       %.1f cycles (%d packets measured)\n", res.Latency.Mean(), res.Latency.Count())
+	if res.MinLatency.Count() > 0 {
+		fmt.Printf("  minimal pkts:    %.1f cycles (%.1f%% of traffic)\n", res.MinLatency.Mean(), 100*res.MinimalFraction)
+	}
+	if res.NonminLatency.Count() > 0 {
+		fmt.Printf("  non-minimal:     %.1f cycles\n", res.NonminLatency.Mean())
+	}
+	fmt.Printf("latency p99:       %.0f cycles (max %.0f)\n", pctl(res), res.Latency.Max())
+	fmt.Printf("saturated:         %v\n", res.Saturated)
+	fmt.Printf("simulated cycles:  %d\n", res.Cycles)
+	if *hist && res.Hist != nil {
+		fmt.Println("\nlatency histogram:")
+		buckets := res.Hist.Buckets()
+		for i, c := range buckets {
+			if c == 0 {
+				continue
+			}
+			fmt.Printf("  %4d-%-4d %7d %s\n",
+				int64(i)*res.Hist.Width, (int64(i)+1)*res.Hist.Width-1, c, bar(res.Hist.Fraction(i)))
+		}
+	}
+}
+
+func pctl(res sim.Result) float64 {
+	if res.Hist != nil {
+		return float64(res.Hist.Percentile(0.99))
+	}
+	return res.Latency.Max()
+}
+
+func bar(frac float64) string {
+	n := int(frac * 200)
+	if n > 60 {
+		n = 60
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dfly-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package dragonfly is a from-scratch reproduction of "Technology-Driven,
+// Highly-Scalable Dragonfly Topology" (Kim, Dally, Scott, Abts — ISCA
+// 2008): the dragonfly topology, its routing algorithms (MIN, VAL and
+// the UGAL family including the paper's virtual-channel-discriminating
+// and credit-round-trip variants), a cycle-accurate flit-level network
+// simulator, the paper's synthetic traffic patterns, and the
+// cable/packaging cost models behind its topology comparisons.
+//
+// The root package only anchors the module documentation and the
+// benchmark harness (bench_test.go), which regenerates every table and
+// figure of the paper's evaluation; the implementation lives under
+// internal/ (see DESIGN.md for the map) and is exercised through the
+// examples/ programs and cmd/ tools.
+package dragonfly

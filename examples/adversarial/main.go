@@ -1,0 +1,41 @@
+// Adversarial traffic: the pattern of Section 4.2 sends every node of
+// group G_i to a random node of group G_i+1, so minimal routing funnels
+// each group's entire load through one global channel and collapses to
+// 1/(a*h) throughput. Valiant routing halves capacity but survives;
+// global adaptive routing gets the best of both. This example reproduces
+// that story on the paper's 1K-node evaluation network.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dragonfly/internal/core"
+	"dragonfly/internal/sim"
+)
+
+func main() {
+	sys, err := core.NewSystem(core.SystemConfig{}) // paper default: p=h=4, a=8, N=1056
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := sys.Topo
+	fmt.Println("network:", d)
+	fmt.Printf("worst-case pattern: group i -> random node of group i+1\n")
+	fmt.Printf("minimal-routing bound: 1/(a*h) = %.4f flits/cycle/terminal\n\n", 1/float64(d.A*d.H))
+
+	rc := sim.RunConfig{WarmupCycles: 2000, MeasureCycles: 1000, DrainCycles: 8000}
+	fmt.Printf("%-12s %-8s %-10s %-10s %s\n", "algorithm", "load", "accepted", "latency", "saturated")
+	for _, alg := range []core.Algorithm{core.AlgMIN, core.AlgVAL, core.AlgUGALG, core.AlgUGALLVCH} {
+		for _, load := range []float64{0.1, 0.3, 0.45} {
+			res, err := sys.Run(alg, core.PatternWC, load, rc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-12s %-8.2f %-10.3f %-10.1f %v\n",
+				alg, load, res.Accepted, res.Latency.Mean(), res.Saturated)
+		}
+	}
+	fmt.Println("\nexpected: MIN caps at 0.031; VAL and the UGALs sustain up to ~0.5;")
+	fmt.Println("adaptive routing matches VAL's worst-case without giving up MIN's best case.")
+}

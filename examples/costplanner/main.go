@@ -1,0 +1,56 @@
+// Cost planner: size an interconnect for a target node count and compare
+// the dragonfly against the paper's alternatives (flattened butterfly,
+// folded Clos, 3-D torus) using the Section 2 technology model —
+// electrical cables for short runs, active optical cables beyond 8 m.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dragonfly/internal/cost"
+	"dragonfly/internal/topology"
+)
+
+func main() {
+	n := flag.Int("n", 16384, "target number of nodes")
+	flag.Parse()
+
+	m := cost.DefaultModel()
+	fmt.Printf("machine size: %d nodes, cabinets of %d nodes, %.1fm pitch\n",
+		*n, m.Layout.NodesPerCabinet, m.Layout.CabinetPitchM)
+	fmt.Printf("floor dimension E = %.1fm; optical cables beyond %.0fm\n\n",
+		m.Layout.MachineDimensionM(*n), cost.OpticalThresholdM)
+
+	type gen struct {
+		name string
+		fn   func(int) (cost.Breakdown, error)
+	}
+	var dragonfly cost.Breakdown
+	for _, g := range []gen{
+		{"dragonfly", m.Dragonfly},
+		{"flattened butterfly", m.FlattenedButterfly},
+		{"folded Clos", m.FoldedClos},
+		{"3-D torus", m.Torus3D},
+	} {
+		b, err := g.fn(*n)
+		if err != nil {
+			log.Fatalf("%s: %v", g.name, err)
+		}
+		if g.name == "dragonfly" {
+			dragonfly = b
+		}
+		fmt.Printf("%-20s $%7.2f/node", g.name, b.PerNode())
+		if g.name != "dragonfly" && dragonfly.PerNode() > 0 {
+			fmt.Printf("  (dragonfly saves %.0f%%)", 100*(1-dragonfly.PerNode()/b.PerNode()))
+		}
+		fmt.Printf("\n  %d routers (radix %d), %d local + %d global cables (avg global %.1fm)\n",
+			b.Routers, b.RouterRadix, b.LocalChannels, b.GlobalChannels, b.AvgGlobalLenM)
+	}
+
+	// What would the machine need without grouping? (Figure 1's point.)
+	fmt.Printf("\nwithout virtual-router grouping, one global hop would need radix %d routers;\n",
+		topology.FlatNetworkRadix(*n))
+	fmt.Printf("the balanced dragonfly does it with radix %d.\n", topology.BalancedRadixForNodes(*n))
+}

@@ -1,0 +1,239 @@
+// Package core is the library façade for the dragonfly system: it wires
+// the topology (internal/topology), the routing algorithms
+// (internal/routing), the traffic patterns (internal/traffic) and the
+// cycle-accurate simulator (internal/sim) into one configurable object,
+// the System. Examples, command-line tools and the experiment harness
+// all build on it.
+//
+// A minimal session:
+//
+//	sys, err := core.NewSystem(core.SystemConfig{P: 4, A: 8, H: 4})
+//	res, err := sys.Run(core.AlgUGALL, core.PatternWC, 0.3, sim.RunConfig{...})
+package core
+
+import (
+	"fmt"
+
+	"dragonfly/internal/routing"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/traffic"
+)
+
+// Algorithm names a routing algorithm of the paper.
+type Algorithm string
+
+// The routing algorithms of Section 4.
+const (
+	AlgMIN      Algorithm = "MIN"
+	AlgVAL      Algorithm = "VAL"
+	AlgUGALL    Algorithm = "UGAL-L"
+	AlgUGALG    Algorithm = "UGAL-G"
+	AlgUGALLVC  Algorithm = "UGAL-L_VC"
+	AlgUGALLVCH Algorithm = "UGAL-L_VCH"
+	AlgUGALLCR  Algorithm = "UGAL-L_CR"
+)
+
+// Algorithms lists every supported algorithm in the paper's order.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgMIN, AlgVAL, AlgUGALL, AlgUGALG, AlgUGALLVC, AlgUGALLVCH, AlgUGALLCR}
+}
+
+// ParseAlgorithm resolves a name (as printed by the constants) to an
+// Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range Algorithms() {
+		if string(a) == s {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("core: unknown routing algorithm %q (supported: %v)", s, Algorithms())
+}
+
+// Pattern names a traffic pattern.
+type Pattern string
+
+// The synthetic patterns used by the evaluation plus standard extras.
+const (
+	PatternUR            Pattern = "UR"
+	PatternWC            Pattern = "WC"
+	PatternBitComplement Pattern = "BitComplement"
+	PatternTornado       Pattern = "Tornado"
+	PatternPermutation   Pattern = "Permutation"
+)
+
+// Patterns lists the supported traffic patterns.
+func Patterns() []Pattern {
+	return []Pattern{PatternUR, PatternWC, PatternBitComplement, PatternTornado, PatternPermutation}
+}
+
+// ParsePattern resolves a name to a Pattern.
+func ParsePattern(s string) (Pattern, error) {
+	for _, p := range Patterns() {
+		if string(p) == s {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("core: unknown traffic pattern %q (supported: %v)", s, Patterns())
+}
+
+// SystemConfig describes a dragonfly machine and its simulation
+// parameters. Zero values take the paper's defaults.
+type SystemConfig struct {
+	// P, A, H are the dragonfly parameters (terminals per router,
+	// routers per group, global channels per router). Defaults: the
+	// paper's 1K evaluation network p=h=4, a=8.
+	P, A, H int
+	// Groups is the group count; 0 means the maximal a*h+1.
+	Groups int
+	// BufDepth is the per-VC input buffer depth (default 16).
+	BufDepth int
+	// LocalLatency/GlobalLatency are channel latencies in cycles
+	// (defaults 1 and 2).
+	LocalLatency, GlobalLatency int
+	// Seed makes simulations reproducible (default 1).
+	Seed uint64
+}
+
+// System is a configured dragonfly: topology plus simulation defaults.
+type System struct {
+	// Topo is the constructed dragonfly topology.
+	Topo *topology.Dragonfly
+	cfg  SystemConfig
+}
+
+// NewSystem validates the configuration and builds the topology.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.P == 0 && cfg.A == 0 && cfg.H == 0 {
+		cfg.P, cfg.A, cfg.H = 4, 8, 4
+	}
+	if cfg.BufDepth == 0 {
+		cfg.BufDepth = 16
+	}
+	if cfg.LocalLatency == 0 {
+		cfg.LocalLatency = 1
+	}
+	if cfg.GlobalLatency == 0 {
+		cfg.GlobalLatency = 2
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	d, err := topology.NewDragonfly(cfg.P, cfg.A, cfg.H, cfg.Groups)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Topo: d, cfg: cfg}, nil
+}
+
+// Config returns the system configuration after defaulting.
+func (s *System) Config() SystemConfig { return s.cfg }
+
+// SimConfig returns the simulator configuration for the given algorithm
+// (UGAL-L_CR switches the delayed-credit mechanism on).
+func (s *System) SimConfig(alg Algorithm) sim.Config {
+	return sim.Config{
+		BufDepth:      s.cfg.BufDepth,
+		VCs:           routing.VCs,
+		LocalLatency:  s.cfg.LocalLatency,
+		GlobalLatency: s.cfg.GlobalLatency,
+		DelayCredits:  alg == AlgUGALLCR,
+		Seed:          s.cfg.Seed,
+	}
+}
+
+// Routing constructs the routing algorithm alg over this topology.
+func (s *System) Routing(alg Algorithm) (sim.Routing, error) {
+	switch alg {
+	case AlgMIN:
+		return routing.NewMIN(s.Topo), nil
+	case AlgVAL:
+		return routing.NewVAL(s.Topo), nil
+	case AlgUGALL:
+		return routing.NewUGAL(s.Topo, routing.UGALLocal), nil
+	case AlgUGALG:
+		return routing.NewUGAL(s.Topo, routing.UGALGlobal), nil
+	case AlgUGALLVC:
+		return routing.NewUGAL(s.Topo, routing.UGALLocalVC), nil
+	case AlgUGALLVCH:
+		return routing.NewUGAL(s.Topo, routing.UGALLocalVCH), nil
+	case AlgUGALLCR:
+		return routing.NewUGALCR(s.Topo), nil
+	default:
+		return nil, fmt.Errorf("core: unknown routing algorithm %q", alg)
+	}
+}
+
+// Traffic constructs the traffic pattern over this topology.
+func (s *System) Traffic(p Pattern) (sim.Traffic, error) {
+	n := s.Topo.Nodes()
+	switch p {
+	case PatternUR:
+		return traffic.NewUniformRandom(n), nil
+	case PatternWC:
+		return traffic.NewWorstCase(s.Topo), nil
+	case PatternBitComplement:
+		return traffic.NewBitComplement(n), nil
+	case PatternTornado:
+		return traffic.NewGroupOffset(s.Topo, s.Topo.G/2)
+	case PatternPermutation:
+		return traffic.NewPermutation(n, s.cfg.Seed), nil
+	default:
+		return nil, fmt.Errorf("core: unknown traffic pattern %q", p)
+	}
+}
+
+// NewNetwork builds a fresh simulation network for (alg, pattern). Each
+// load point of a sweep should use a fresh network.
+func (s *System) NewNetwork(alg Algorithm, pattern Pattern) (*sim.Network, error) {
+	rt, err := s.Routing(alg)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := s.Traffic(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return sim.New(s.Topo, s.SimConfig(alg), rt, tr)
+}
+
+// Run builds a fresh network and executes one measured simulation at the
+// given load.
+func (s *System) Run(alg Algorithm, pattern Pattern, load float64, rc sim.RunConfig) (sim.Result, error) {
+	net, err := s.NewNetwork(alg, pattern)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	rc.Load = load
+	return sim.Run(net, rc)
+}
+
+// SweepPoint is one load point of a latency-load curve.
+type SweepPoint struct {
+	Load   float64
+	Result sim.Result
+}
+
+// Sweep runs a load sweep with a fresh network per point, stopping early
+// after the first saturated point beyond stopAfterSaturated consecutive
+// saturations (0 disables early stopping).
+func (s *System) Sweep(alg Algorithm, pattern Pattern, loads []float64, rc sim.RunConfig, stopAfterSaturated int) ([]SweepPoint, error) {
+	var out []SweepPoint
+	saturated := 0
+	for _, load := range loads {
+		res, err := s.Run(alg, pattern, load, rc)
+		if err != nil {
+			return out, fmt.Errorf("core: %s/%s at load %.3f: %w", alg, pattern, load, err)
+		}
+		out = append(out, SweepPoint{Load: load, Result: res})
+		if res.Saturated {
+			saturated++
+			if stopAfterSaturated > 0 && saturated >= stopAfterSaturated {
+				break
+			}
+		} else {
+			saturated = 0
+		}
+	}
+	return out, nil
+}

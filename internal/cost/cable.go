@@ -1,0 +1,132 @@
+// Package cost implements the technology and cost models of Sections 2
+// and 5 of the paper: linear cable-cost fits for electrical and active
+// optical signalling (Figure 2, Table 1), a machine-room packaging and
+// floor-plan model for cable-length estimation, and per-topology network
+// cost inventories that reproduce the comparisons of Figures 18 and 19
+// and Table 2.
+//
+// Absolute 2008 dollars are not the reproduction target — the shapes
+// are: the electrical/optical crossover around 10 m, the dragonfly's
+// ~20% saving over the flattened butterfly and ~50%+ over the folded
+// Clos at scale, and the 3-D torus's high flat cost.
+package cost
+
+import "fmt"
+
+// CableTech describes one signalling technology (Table 1).
+type CableTech struct {
+	// Name of the cable family.
+	Name string
+	// MaxLengthM is the maximum usable length in metres.
+	MaxLengthM float64
+	// DataRateGbps is the per-cable data rate (4x lanes).
+	DataRateGbps float64
+	// PowerW is the active-component power.
+	PowerW float64
+	// EnergyPJPerBit is the signalling energy per bit.
+	EnergyPJPerBit float64
+	// Optical reports whether the cable is an active optical cable.
+	Optical bool
+}
+
+// Table1 returns the cable technologies of the paper's Table 1.
+func Table1() []CableTech {
+	return []CableTech{
+		{Name: "Intel Connects Cable", MaxLengthM: 100, DataRateGbps: 20, PowerW: 1.2, EnergyPJPerBit: 60, Optical: true},
+		{Name: "Luxtera Blazar", MaxLengthM: 300, DataRateGbps: 42, PowerW: 2.2, EnergyPJPerBit: 55, Optical: true},
+		{Name: "electrical cable", MaxLengthM: 10, DataRateGbps: 10, PowerW: 0.02, EnergyPJPerBit: 2, Optical: false},
+	}
+}
+
+// CableModel is a linear cost fit $/Gb/s = Slope·length + Intercept
+// (Figure 2).
+type CableModel struct {
+	// Name of the model.
+	Name string
+	// Slope is the per-metre cost in $/Gb/s/m.
+	Slope float64
+	// Intercept is the fixed (transceiver) cost in $/Gb/s.
+	Intercept float64
+}
+
+// CostPerGb returns the cost of lengthM metres of this cable in $/Gb/s.
+func (m CableModel) CostPerGb(lengthM float64) float64 {
+	if lengthM < 0 {
+		lengthM = 0
+	}
+	return m.Slope*lengthM + m.Intercept
+}
+
+// The two cost fits printed in Figure 2.
+var (
+	// Electrical is the repeatered electrical cable model of the
+	// flattened-butterfly paper: $/Gb = 1.4·len + 2.16. Cheap transceivers,
+	// expensive metres.
+	Electrical = CableModel{Name: "electrical", Slope: 1.4, Intercept: 2.16}
+	// Optical is the Intel Connects active optical cable fit:
+	// $/Gb = 0.364·len + 9.7103. Expensive end-points, cheap metres.
+	Optical = CableModel{Name: "optical", Slope: 0.364, Intercept: 9.7103}
+)
+
+// OpticalThresholdM is the length above which the paper's methodology
+// switches from electrical to optical cables (Section 5 uses 8 m; the
+// pure cost crossover of the two fits is ≈7.3 m and the paper quotes
+// ≈10 m).
+const OpticalThresholdM = 8.0
+
+// Crossover returns the cable length at which two models cost the same,
+// or -1 if they never cross for non-negative lengths.
+func Crossover(a, b CableModel) float64 {
+	ds := a.Slope - b.Slope
+	di := b.Intercept - a.Intercept
+	if ds == 0 {
+		return -1
+	}
+	x := di / ds
+	if x < 0 {
+		return -1
+	}
+	return x
+}
+
+// CheapestCable returns the cost in $/Gb/s of the cheaper signalling
+// choice for a cable of the given length, using the paper's 8 m rule.
+func CheapestCable(lengthM float64) float64 {
+	if lengthM < OpticalThresholdM {
+		return Electrical.CostPerGb(lengthM)
+	}
+	return Optical.CostPerGb(lengthM)
+}
+
+// RouterModel prices router ports. Per-port cost falls with radix
+// because the fixed chip cost (package, maintenance logic, firmware) is
+// amortised over more SerDes — which is why the low-radix 3-D torus
+// router is charged more per port (Section 5 "adjust the cost of the
+// router appropriately for the low-radix 3-D torus network").
+type RouterModel struct {
+	// PortCost is the marginal cost per port in $/Gb/s (SerDes lanes,
+	// pins, board area).
+	PortCost float64
+	// ChipOverhead is the fixed per-router cost in $ amortised over the
+	// radix.
+	ChipOverhead float64
+}
+
+// DefaultRouterModel prices a YARC-class high-radix router at roughly
+// $8/port/Gb/s and a radix-7 torus router at roughly $23/port/Gb/s.
+func DefaultRouterModel() RouterModel {
+	return RouterModel{PortCost: 6, ChipOverhead: 120}
+}
+
+// PerPort returns the per-port cost of a radix-k router.
+func (r RouterModel) PerPort(k int) float64 {
+	if k < 1 {
+		k = 1
+	}
+	return r.PortCost + r.ChipOverhead/float64(k)
+}
+
+// String describes the model.
+func (r RouterModel) String() string {
+	return fmt.Sprintf("router-cost(port=$%.2f chip=$%.2f)", r.PortCost, r.ChipOverhead)
+}

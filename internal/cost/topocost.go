@@ -1,0 +1,374 @@
+package cost
+
+import (
+	"fmt"
+
+	"dragonfly/internal/topology"
+)
+
+// Breakdown itemises the network cost of one configuration. All money
+// figures are in $ per Gb/s of channel bandwidth, matching Figure 2's
+// units; PerNode divides by the terminal count to give Figure 19's
+// y-axis.
+type Breakdown struct {
+	// Name describes the configuration.
+	Name string
+	// Nodes is the terminal count N.
+	Nodes int
+	// Routers and RouterRadix describe the switch inventory.
+	Routers, RouterRadix int
+	// TerminalChannels, LocalChannels, GlobalChannels count the
+	// bidirectional cables of each class.
+	TerminalChannels, LocalChannels, GlobalChannels int
+	// AvgGlobalLenM is the mean global cable length.
+	AvgGlobalLenM float64
+	// RouterCost, TerminalCost, LocalCost, GlobalCost are the totals.
+	RouterCost, TerminalCost, LocalCost, GlobalCost float64
+}
+
+// Total returns the full network cost.
+func (b Breakdown) Total() float64 {
+	return b.RouterCost + b.TerminalCost + b.LocalCost + b.GlobalCost
+}
+
+// PerNode returns the cost per terminal, Figure 19's metric.
+func (b Breakdown) PerNode() float64 {
+	if b.Nodes == 0 {
+		return 0
+	}
+	return b.Total() / float64(b.Nodes)
+}
+
+// String renders a one-line summary.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("%s: N=%d $%.2f/node (router %.1f%%, global %.1f%%)",
+		b.Name, b.Nodes, b.PerNode(),
+		100*b.RouterCost/b.Total(), 100*b.GlobalCost/b.Total())
+}
+
+// Model bundles the pricing inputs shared by every topology.
+type Model struct {
+	Layout Layout
+	Router RouterModel
+}
+
+// DefaultModel returns the pricing used for the paper's comparisons.
+func DefaultModel() Model {
+	return Model{Layout: DefaultLayout(), Router: DefaultRouterModel()}
+}
+
+// jumperM is the length of a short inter-cabinet jumper between
+// neighbouring cabinets of the same group or pod.
+func (m Model) jumperM() float64 {
+	return m.Layout.CabinetPitchM + 2
+}
+
+// localCableM returns the effective local-channel length for a group or
+// dimension slice spanning `cabinets` cabinets: backplane runs when it
+// fits in one cabinet, a mix of backplane and jumpers otherwise.
+func (m Model) localCableM(cabinets int) float64 {
+	if cabinets <= 1 {
+		return m.Layout.BackplaneM
+	}
+	// With the group striped across cabinets, roughly half of the
+	// fully-connected pairs cross a cabinet boundary.
+	return 0.5*m.Layout.BackplaneM + 0.5*m.jumperM()
+}
+
+// Dragonfly prices a dragonfly sized like the paper's Figure 18
+// configuration: p = a = h = 16 (radix-47 routers from the radix-64
+// class), 256-terminal groups packaged one group per cabinet, and as
+// many groups as the node count requires (up to a*h+1 = 257 groups,
+// 65792 terminals — covering Figure 19's full x-axis).
+func (m Model) Dragonfly(n int) (Breakdown, error) {
+	// Below ~800 terminals a single fully-connected group of radix-64
+	// routers suffices, and the dragonfly degenerates to a 1-D flattened
+	// butterfly with identical cost (Section 5: "for networks up to 1K
+	// nodes ... the cost of the two networks are identical").
+	if s := (n + 15) / 16; s >= 2 && 16+s-1 <= 64 {
+		fb, err := m.flattenedButterfly1D(16, s)
+		if err != nil {
+			return Breakdown{}, err
+		}
+		fb.Name = fmt.Sprintf("dragonfly(single group = 1-D flattened butterfly, a=%d)", s)
+		return fb, nil
+	}
+	return m.DragonflyConfig(n, 16, 16, 16)
+}
+
+// flattenedButterfly1D prices one fully connected dimension of s routers
+// with concentration c — a single cabinet-scale machine when it fits.
+func (m Model) flattenedButterfly1D(c, s int) (Breakdown, error) {
+	if err := m.Layout.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	nodes := c * s
+	radix := c + s - 1
+	cabinets := m.Layout.Cabinets(nodes)
+	b := Breakdown{
+		Name:        fmt.Sprintf("flattened-butterfly(c=%d dims=[%d])", c, s),
+		Nodes:       nodes,
+		Routers:     s,
+		RouterRadix: radix,
+	}
+	b.TerminalChannels = nodes
+	b.LocalChannels = s * (s - 1) / 2
+	b.RouterCost = float64(s*radix) * m.Router.PerPort(radix)
+	b.TerminalCost = float64(nodes) * Electrical.CostPerGb(m.Layout.BackplaneM)
+	b.LocalCost = float64(b.LocalChannels) * CheapestCable(m.localCableM(cabinets))
+	return b, nil
+}
+
+// DragonflyConfig prices a dragonfly with explicit per-router
+// parameters. Groups are placed in consecutive cabinets; every pair of
+// groups is connected, and the average global cable length is the mean
+// cabinet-pair distance (2E/3 in Table 2's units).
+func (m Model) DragonflyConfig(n, p, a, h int) (Breakdown, error) {
+	if err := m.Layout.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if p < 1 || a < 1 || h < 1 {
+		return Breakdown{}, fmt.Errorf("cost: bad dragonfly parameters p=%d a=%d h=%d", p, a, h)
+	}
+	groupNodes := a * p
+	groups := (n + groupNodes - 1) / groupNodes
+	if groups < 2 {
+		groups = 2
+	}
+	if groups > a*h+1 {
+		return Breakdown{}, fmt.Errorf("cost: %d nodes need %d groups, more than a*h+1=%d", n, groups, a*h+1)
+	}
+	nodes := groups * groupNodes
+	radix := p + a + h - 1
+	routers := groups * a
+	cabinets := m.Layout.Cabinets(nodes)
+	groupCabinets := m.Layout.Cabinets(groupNodes)
+
+	b := Breakdown{
+		Name:        fmt.Sprintf("dragonfly(p=%d a=%d h=%d g=%d)", p, a, h, groups),
+		Nodes:       nodes,
+		Routers:     routers,
+		RouterRadix: radix,
+	}
+	b.TerminalChannels = nodes
+	b.LocalChannels = groups * a * (a - 1) / 2
+	b.GlobalChannels = groups * a * h / 2
+	b.AvgGlobalLenM = m.Layout.MeanPairDistanceM(cabinets)
+
+	b.RouterCost = float64(routers*radix) * m.Router.PerPort(radix)
+	b.TerminalCost = float64(b.TerminalChannels) * Electrical.CostPerGb(m.Layout.BackplaneM)
+	b.LocalCost = float64(b.LocalChannels) * CheapestCable(m.localCableM(groupCabinets))
+	b.GlobalCost = float64(b.GlobalChannels) * CheapestCable(b.AvgGlobalLenM)
+	return b, nil
+}
+
+// FlattenedButterfly prices a k-ary n-flat sized for n terminals from
+// radix-64 routers with concentration 16: dimension sizes of 16 with the
+// last dimension shrunk to fit. Dimension 0 stays inside a cabinet
+// (16 routers × 16 terminals = 256 nodes); the channels of every higher
+// dimension run along one axis of the cabinet floor, giving the E/3
+// average length of Table 2.
+func (m Model) FlattenedButterfly(n int) (Breakdown, error) {
+	if err := m.Layout.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	const conc, size = 16, 16
+	dims := []int{size}
+	capacity := conc * size
+	for capacity < n {
+		// Grow by adding a dimension sized to fit, capped at `size`.
+		need := (n + capacity - 1) / capacity
+		if need > size {
+			need = size
+		}
+		if need < 2 {
+			need = 2
+		}
+		dims = append(dims, need)
+		capacity *= need
+	}
+	routers := 1
+	radix := conc
+	for _, s := range dims {
+		routers *= s
+		radix += s - 1
+	}
+	nodes := routers * conc
+	b := Breakdown{
+		Name:        fmt.Sprintf("flattened-butterfly(c=%d dims=%v)", conc, dims),
+		Nodes:       nodes,
+		Routers:     routers,
+		RouterRadix: radix,
+	}
+	b.TerminalChannels = nodes
+	b.LocalChannels = routers * (dims[0] - 1) / 2
+	b.RouterCost = float64(routers*radix) * m.Router.PerPort(radix)
+	b.TerminalCost = float64(nodes) * Electrical.CostPerGb(m.Layout.BackplaneM)
+	b.LocalCost = float64(b.LocalChannels) * Electrical.CostPerGb(m.Layout.BackplaneM)
+
+	// Higher dimensions: R*(s-1)/2 channels each. The flattened
+	// butterfly's wiring constrains the floor plan: every global
+	// dimension is laid out along its own axis of the cabinet floor
+	// (Figure 18(a)), so a dimension of size s spans s cabinet positions
+	// and its channels have mean length (s²-1)/(3s) cabinet pitches —
+	// Table 2's E/3. A 2-D flattened butterfly therefore stretches its
+	// single global dimension across the whole machine, while the
+	// dragonfly packs the same cabinets into a compact square; this is
+	// the "shorter average cable length at small sizes" advantage of
+	// Section 5.
+	var globalCost, totalLen float64
+	globals := 0
+	for d := 1; d < len(dims); d++ {
+		ch := routers * (dims[d] - 1) / 2
+		span := float64(dims[d])
+		meanM := (span*span - 1) / (3 * span) * m.Layout.CabinetPitchM
+		length := meanM + m.Layout.CableOverheadM
+		globalCost += float64(ch) * CheapestCable(length)
+		totalLen += float64(ch) * length
+		globals += ch
+	}
+	b.GlobalChannels = globals
+	b.GlobalCost = globalCost
+	if globals > 0 {
+		b.AvgGlobalLenM = totalLen / float64(globals)
+	}
+	return b, nil
+}
+
+// FoldedClos prices a radix-64 folded Clos (fat tree). The first level
+// gap stays inside a pod of cabinets (short jumpers); every higher level
+// crosses the machine like a random cabinet pair.
+func (m Model) FoldedClos(n int) (Breakdown, error) {
+	if err := m.Layout.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	fc, err := topology.NewFoldedClos(n, 64)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	cabinets := m.Layout.Cabinets(n)
+	b := Breakdown{
+		Name:        fmt.Sprintf("folded-clos(k=64 levels=%d)", fc.Levels),
+		Nodes:       n,
+		Routers:     fc.Routers(),
+		RouterRadix: 64,
+	}
+	b.TerminalChannels = n
+	b.RouterCost = float64(fc.Routers()*64) * m.Router.PerPort(64)
+	b.TerminalCost = float64(n) * Electrical.CostPerGb(m.Layout.BackplaneM)
+
+	var globalCost, totalLen float64
+	globals := 0
+	for lvl := 0; lvl < fc.Levels-1; lvl++ {
+		ch := fc.LevelChannels(lvl)
+		var length float64
+		if lvl == 0 {
+			// Leaf to first aggregation level: within a pod of cabinets.
+			length = m.jumperM()
+			b.LocalChannels += ch
+			b.LocalCost += float64(ch) * CheapestCable(length)
+			continue
+		}
+		length = m.Layout.MeanPairDistanceM(cabinets)
+		globalCost += float64(ch) * CheapestCable(length)
+		totalLen += float64(ch) * length
+		globals += ch
+	}
+	b.GlobalChannels = globals
+	b.GlobalCost = globalCost
+	if globals > 0 {
+		b.AvgGlobalLenM = totalLen / float64(globals)
+	}
+	return b, nil
+}
+
+// Torus3D prices a 3-D torus: one node per radix-7 router, three
+// bidirectional channels per node, all short electrical cables thanks to
+// the folded layout, but many of them — and expensive low-radix router
+// ports (Section 5).
+func (m Model) Torus3D(n int) (Breakdown, error) {
+	if err := m.Layout.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	tor, err := topology.NewTorus3D(n)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	nodes := tor.Nodes()
+	b := Breakdown{
+		Name:        fmt.Sprintf("torus3d(%dx%dx%d)", tor.X, tor.Y, tor.Z),
+		Nodes:       nodes,
+		Routers:     nodes,
+		RouterRadix: 7,
+	}
+	b.TerminalChannels = nodes
+	b.LocalChannels = tor.Channels()
+	// A folded torus keeps every neighbour cable within two cabinet
+	// pitches.
+	length := 2*m.Layout.CabinetPitchM + 2
+	b.RouterCost = float64(nodes*7) * m.Router.PerPort(7)
+	b.TerminalCost = float64(nodes) * Electrical.CostPerGb(m.Layout.BackplaneM)
+	b.LocalCost = float64(b.LocalChannels) * CheapestCable(length)
+	return b, nil
+}
+
+// Comparison64K reproduces Figure 18: the 64K-node dragonfly
+// (p=a=h=16, 256-terminal groups, one cabinet per group) versus the
+// 64K-node flattened butterfly (c=16, three dimensions of 16), reporting
+// the global-cable counts and the share of router ports spent on global
+// channels.
+type Comparison64K struct {
+	Dragonfly, FlattenedButterfly Breakdown
+	// GlobalCableRatio is FB global cables / dragonfly global cables
+	// (the paper: 2×).
+	GlobalCableRatio float64
+	// DFGlobalPortShare and FBGlobalPortShare are the fraction of router
+	// ports used by global channels (the paper: 25% vs 50% of the
+	// non-terminal ports).
+	DFGlobalPortShare, FBGlobalPortShare float64
+}
+
+// CompareAt64K computes the Figure 18 comparison.
+func (m Model) CompareAt64K() (Comparison64K, error) {
+	df, err := m.DragonflyConfig(65536, 16, 16, 16)
+	if err != nil {
+		return Comparison64K{}, err
+	}
+	fb, err := m.FlattenedButterfly(65536)
+	if err != nil {
+		return Comparison64K{}, err
+	}
+	c := Comparison64K{Dragonfly: df, FlattenedButterfly: fb}
+	c.GlobalCableRatio = float64(fb.GlobalChannels) / float64(df.GlobalChannels)
+	c.DFGlobalPortShare = float64(2*df.GlobalChannels) / float64(df.Routers*df.RouterRadix)
+	c.FBGlobalPortShare = float64(2*fb.GlobalChannels) / float64(fb.Routers*fb.RouterRadix)
+	return c, nil
+}
+
+// TopologyHops summarises Table 2: hop counts and cable lengths of the
+// flattened butterfly and the dragonfly in units of the machine
+// dimension E.
+type TopologyHops struct {
+	Topology                          string
+	MinHopsLocal, MinHopsGlobal       int
+	NonminHopsLocal, NonminHopsGlobal int
+	AvgCableE, MaxCableE              float64
+}
+
+// Table2 returns the paper's Table 2.
+func Table2() []TopologyHops {
+	return []TopologyHops{
+		{
+			Topology:     "flattened butterfly",
+			MinHopsLocal: 1, MinHopsGlobal: 2,
+			NonminHopsLocal: 2, NonminHopsGlobal: 4,
+			AvgCableE: 1.0 / 3, MaxCableE: 1,
+		},
+		{
+			Topology:     "dragonfly",
+			MinHopsLocal: 2, MinHopsGlobal: 1,
+			NonminHopsLocal: 3, NonminHopsGlobal: 2,
+			AvgCableE: 2.0 / 3, MaxCableE: 2,
+		},
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Exhibit is anything the harness can render.
+type Exhibit interface {
+	Render(w io.Writer)
+}
+
+// Runner executes experiments by paper exhibit id.
+type Runner struct {
+	// Scale controls simulation fidelity.
+	Scale Scale
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// Names lists every experiment id in paper order.
+func Names() []string {
+	return []string{
+		"fig1", "table1", "fig2", "fig4", "fig6",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig14", "fig16",
+		"fig18", "fig19", "table2",
+	}
+}
+
+// Run executes one experiment by id and returns its exhibits.
+func (r Runner) Run(name string) ([]Exhibit, error) {
+	wrapF := func(f *Figure, err error) ([]Exhibit, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []Exhibit{f}, nil
+	}
+	wrapFs := func(fs []*Figure, err error) ([]Exhibit, error) {
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Exhibit, len(fs))
+		for i, f := range fs {
+			out[i] = f
+		}
+		return out, nil
+	}
+	switch name {
+	case "fig1":
+		return []Exhibit{Fig01()}, nil
+	case "table1":
+		return []Exhibit{Table01()}, nil
+	case "fig2":
+		return []Exhibit{Fig02()}, nil
+	case "fig4":
+		return []Exhibit{Fig04()}, nil
+	case "fig6":
+		return []Exhibit{Fig06()}, nil
+	case "fig8":
+		return wrapFs(Fig08(r.Scale))
+	case "fig9":
+		return wrapF(Fig09(r.Scale))
+	case "fig10":
+		return wrapFs(Fig10(r.Scale))
+	case "fig11":
+		return wrapFs(Fig11(r.Scale))
+	case "fig12":
+		return wrapFs(Fig12(r.Scale))
+	case "fig14":
+		return wrapF(Fig14(r.Scale))
+	case "fig16":
+		return wrapFs(Fig16(r.Scale))
+	case "fig18":
+		t, err := Fig18()
+		if err != nil {
+			return nil, err
+		}
+		return []Exhibit{t}, nil
+	case "fig19":
+		f, err := Fig19()
+		if err != nil {
+			return nil, err
+		}
+		return []Exhibit{f}, nil
+	case "table2":
+		return []Exhibit{Table02()}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, Names())
+	}
+}
+
+// RunAll executes every experiment and renders the full report to w.
+func (r Runner) RunAll(w io.Writer) error {
+	for _, name := range Names() {
+		start := time.Now()
+		if r.Log != nil {
+			fmt.Fprintf(r.Log, "running %s...\n", name)
+		}
+		exhibits, err := r.Run(name)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		for _, e := range exhibits {
+			e.Render(w)
+		}
+		if r.Log != nil {
+			fmt.Fprintf(r.Log, "  %s done in %.1fs\n", name, time.Since(start).Seconds())
+		}
+	}
+	return nil
+}

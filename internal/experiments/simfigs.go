@@ -1,0 +1,347 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dragonfly/internal/core"
+	"dragonfly/internal/sim"
+)
+
+// evalSystem builds the evaluation machine: the paper's 1K-node network
+// (p=h=4, a=8, 1056 terminals) or the 72-node example under Scale.Small.
+func (s Scale) evalSystem(bufDepth int) (*core.System, error) {
+	cfg := core.SystemConfig{P: 4, A: 8, H: 4, BufDepth: bufDepth}
+	if s.Small {
+		cfg = core.SystemConfig{P: 2, A: 4, H: 2, BufDepth: bufDepth}
+	}
+	return core.NewSystem(cfg)
+}
+
+func (s Scale) runCfg() sim.RunConfig {
+	return sim.RunConfig{
+		WarmupCycles:  s.Warmup,
+		MeasureCycles: s.Measure,
+		DrainCycles:   s.Drain,
+		StallLimit:    s.StallLimit,
+	}
+}
+
+// sweep runs a latency-load curve for one algorithm/pattern pair,
+// stopping two points after saturation like the paper's plots.
+func (s Scale) sweep(sys *core.System, alg core.Algorithm, pattern core.Pattern, loads []float64) (Series, error) {
+	ser := Series{Name: string(alg)}
+	points, err := sys.Sweep(alg, pattern, loads, s.runCfg(), 2)
+	if err != nil {
+		return ser, err
+	}
+	for _, p := range points {
+		ser.X = append(ser.X, p.Load)
+		ser.Y = append(ser.Y, p.Result.Latency.Mean())
+		ser.Saturated = append(ser.Saturated, p.Result.Saturated)
+	}
+	return ser, nil
+}
+
+// urLoads and wcLoads are the sweep ranges of Figures 8, 10 and 16.
+func (s Scale) urLoads() []float64 { return s.loads(0.1, 0.95, 0.1) }
+func (s Scale) wcLoads() []float64 { return s.loads(0.05, 0.5, 0.05) }
+
+// Fig08 reproduces Figure 8: latency versus offered load for MIN, VAL,
+// UGAL-G and UGAL-L under (a) uniform random and (b) worst-case traffic.
+func Fig08(s Scale) ([]*Figure, error) {
+	sys, err := s.evalSystem(16)
+	if err != nil {
+		return nil, err
+	}
+	algs := []core.Algorithm{core.AlgMIN, core.AlgVAL, core.AlgUGALG, core.AlgUGALL}
+	out := []*Figure{
+		{ID: "Figure 8(a)", Title: "Routing comparison, uniform random traffic", XLabel: "offered load", YLabel: "avg latency (cycles), * = saturated"},
+		{ID: "Figure 8(b)", Title: "Routing comparison, worst-case traffic", XLabel: "offered load", YLabel: "avg latency (cycles), * = saturated"},
+	}
+	for i, tc := range []struct {
+		pattern core.Pattern
+		loads   []float64
+	}{
+		{core.PatternUR, s.urLoads()},
+		{core.PatternWC, s.wcLoads()},
+	} {
+		for _, alg := range algs {
+			ser, err := s.sweep(sys, alg, tc.pattern, tc.loads)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", alg, tc.pattern, err)
+			}
+			out[i].Series = append(out[i].Series, ser)
+		}
+	}
+	out[0].Notes = append(out[0].Notes,
+		"expected shape: MIN and both UGALs reach near-unit throughput; VAL saturates near 0.5 with ~2x zero-load latency")
+	out[1].Notes = append(out[1].Notes,
+		"expected shape: MIN saturates at 1/(a*h); VAL and UGAL-G reach ~0.5; UGAL-L suffers high latency at intermediate load")
+	return out, nil
+}
+
+// Fig09 reproduces Figure 9: per-channel utilisation of a group's global
+// channels under worst-case traffic at load 0.2, UGAL-L versus UGAL-G.
+// Channel 0 is the minimal channel; channels 1..h-1 share its router.
+func Fig09(s Scale) (*Figure, error) {
+	sys, err := s.evalSystem(16)
+	if err != nil {
+		return nil, err
+	}
+	d := sys.Topo
+	f := &Figure{
+		ID:     "Figure 9",
+		Title:  "Global channel utilisation, WC traffic at load 0.2",
+		XLabel: "global channel",
+		YLabel: "utilisation",
+	}
+	for _, alg := range []core.Algorithm{core.AlgUGALL, core.AlgUGALG} {
+		net, err := sys.NewNetwork(alg, core.PatternWC)
+		if err != nil {
+			return nil, err
+		}
+		net.SetLoad(0.2)
+		net.EnableUtilization()
+		for i := 0; i < s.Warmup; i++ {
+			net.Step()
+		}
+		net.ResetUtilization()
+		for i := 0; i < s.Measure; i++ {
+			net.Step()
+		}
+		// Slot c of every group leads to group (g+1+c mod (g-1)); slot 0
+		// is the minimal channel for the WC pattern. Average per slot
+		// across groups.
+		ser := Series{Name: string(alg)}
+		slots := d.A * d.H
+		for c := 0; c < slots; c++ {
+			var busy int64
+			for grp := 0; grp < d.G; grp++ {
+				r := d.GroupRouter(grp, d.SlotRouterIndex(c))
+				busy += net.ChannelBusy(r, d.GlobalPort(c))
+			}
+			ser.X = append(ser.X, float64(c))
+			ser.Y = append(ser.Y, float64(busy)/float64(d.G)/float64(s.Measure))
+		}
+		f.Series = append(f.Series, ser)
+	}
+	f.Notes = append(f.Notes,
+		"channel 0 is the minimal channel; 1..h-1 share its router",
+		"expected shape: UGAL-G loads the minimal channel hardest and balances the rest evenly; UGAL-L under-uses the non-minimal channels sharing the minimal channel's router")
+	return f, nil
+}
+
+// Fig10 reproduces Figure 10: the UGAL-L_VC and UGAL-L_VCH variants
+// against UGAL-L and UGAL-G on (a) uniform random and (b) worst-case
+// traffic.
+func Fig10(s Scale) ([]*Figure, error) {
+	sys, err := s.evalSystem(16)
+	if err != nil {
+		return nil, err
+	}
+	algs := []core.Algorithm{core.AlgUGALL, core.AlgUGALLVC, core.AlgUGALLVCH, core.AlgUGALG}
+	out := []*Figure{
+		{ID: "Figure 10(a)", Title: "UGAL-L_VC variants, uniform random traffic", XLabel: "offered load", YLabel: "avg latency (cycles), * = saturated"},
+		{ID: "Figure 10(b)", Title: "UGAL-L_VC variants, worst-case traffic", XLabel: "offered load", YLabel: "avg latency (cycles), * = saturated"},
+	}
+	for i, tc := range []struct {
+		pattern core.Pattern
+		loads   []float64
+	}{
+		{core.PatternUR, s.urLoads()},
+		{core.PatternWC, s.wcLoads()},
+	} {
+		for _, alg := range algs {
+			ser, err := s.sweep(sys, alg, tc.pattern, tc.loads)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", alg, tc.pattern, err)
+			}
+			out[i].Series = append(out[i].Series, ser)
+		}
+	}
+	out[0].Notes = append(out[0].Notes,
+		"expected shape: UGAL-L_VC loses throughput on UR (per-VC queues misjudge balanced traffic); the hybrid UGAL-L_VCH restores it")
+	out[1].Notes = append(out[1].Notes,
+		"expected shape: both VC variants match UGAL-G's WC throughput and cut UGAL-L's intermediate latency")
+	return out, nil
+}
+
+// Fig11 reproduces Figure 11: minimally- versus non-minimally-routed
+// packet latency under UGAL-L and WC traffic, with 16- and 256-flit
+// input buffers.
+func Fig11(s Scale) ([]*Figure, error) {
+	var out []*Figure
+	for _, buf := range []int{16, 256} {
+		sys, err := s.evalSystem(buf)
+		if err != nil {
+			return nil, err
+		}
+		f := &Figure{
+			ID:     fmt.Sprintf("Figure 11 (buffers=%d)", buf),
+			Title:  "UGAL-L WC latency split by routing decision",
+			XLabel: "offered load",
+			YLabel: "avg latency (cycles), * = saturated",
+		}
+		min := Series{Name: "minimal pkts"}
+		nonmin := Series{Name: "non-minimal"}
+		avg := Series{Name: "average"}
+		for _, load := range s.wcLoads() {
+			res, err := sys.Run(core.AlgUGALL, core.PatternWC, load, s.runCfg())
+			if err != nil {
+				return nil, err
+			}
+			min.X = append(min.X, load)
+			min.Y = append(min.Y, res.MinLatency.Mean())
+			min.Saturated = append(min.Saturated, res.Saturated)
+			nonmin.X = append(nonmin.X, load)
+			nonmin.Y = append(nonmin.Y, res.NonminLatency.Mean())
+			nonmin.Saturated = append(nonmin.Saturated, res.Saturated)
+			avg.X = append(avg.X, load)
+			avg.Y = append(avg.Y, res.Latency.Mean())
+			avg.Saturated = append(avg.Saturated, res.Saturated)
+			if res.Saturated {
+				break
+			}
+		}
+		f.Series = []Series{min, nonmin, avg}
+		f.Notes = append(f.Notes,
+			"expected shape: non-minimal packets track UGAL-G latency while minimal packets pay the buffer-filling penalty, which grows with buffer depth")
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Fig12 reproduces Figure 12: the latency histogram at offered load 0.25
+// under UGAL-L and WC traffic, for 16- and 256-flit buffers — the
+// bimodal distribution whose slow mode is the minimally-routed packets.
+func Fig12(s Scale) ([]*Figure, error) {
+	var out []*Figure
+	for _, buf := range []int{16, 256} {
+		sys, err := s.evalSystem(buf)
+		if err != nil {
+			return nil, err
+		}
+		rc := s.runCfg()
+		rc.Histogram = true
+		rc.HistWidth = 4
+		res, err := sys.Run(core.AlgUGALL, core.PatternWC, 0.25, rc)
+		if err != nil {
+			return nil, err
+		}
+		f := &Figure{
+			ID:     fmt.Sprintf("Figure 12 (buffers=%d)", buf),
+			Title:  fmt.Sprintf("Latency distribution at load 0.25 (avg=%.1f)", res.Latency.Mean()),
+			XLabel: "latency (cycles)",
+			YLabel: "fraction of packets",
+		}
+		all := Series{Name: "all packets"}
+		minimal := Series{Name: "minimal pkts"}
+		buckets := res.Hist.Buckets()
+		minBuckets := res.MinHist.Buckets()
+		for i := range buckets {
+			x := float64(int64(i) * res.Hist.Width)
+			if frac := res.Hist.Fraction(i); frac > 0.0005 {
+				all.X = append(all.X, x)
+				all.Y = append(all.Y, frac)
+			}
+			if i < len(minBuckets) && minBuckets[i] > 0 {
+				minimal.X = append(minimal.X, x)
+				minimal.Y = append(minimal.Y, float64(minBuckets[i])/float64(res.Hist.Total()))
+			}
+		}
+		f.Series = []Series{all, minimal}
+		f.Notes = append(f.Notes,
+			fmt.Sprintf("minimal packets: %.1f%% of traffic, mean latency %.1f vs %.1f overall",
+				100*res.MinimalFraction, res.MinLatency.Mean(), res.Latency.Mean()))
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Fig14 reproduces Figure 14: UGAL-L latency under WC traffic as the
+// input buffer depth varies — shallower buffers give stiffer backpressure
+// and lower intermediate latency.
+func Fig14(s Scale) (*Figure, error) {
+	f := &Figure{
+		ID:     "Figure 14",
+		Title:  "UGAL-L WC latency vs input buffer depth",
+		XLabel: "offered load",
+		YLabel: "avg latency (cycles), * = saturated",
+	}
+	for _, buf := range []int{4, 8, 16, 32, 64} {
+		sys, err := s.evalSystem(buf)
+		if err != nil {
+			return nil, err
+		}
+		ser, err := s.sweep(sys, core.AlgUGALL, core.PatternWC, s.wcLoads())
+		if err != nil {
+			return nil, err
+		}
+		ser.Name = fmt.Sprintf("buffers=%d", buf)
+		f.Series = append(f.Series, ser)
+	}
+	f.Notes = append(f.Notes,
+		"expected shape: intermediate latency grows with buffer depth; very shallow buffers trade throughput for stiffness")
+	return f, nil
+}
+
+// Fig16 reproduces Figure 16: UGAL-L_CR (credit round-trip latency)
+// against UGAL-L_VCH and UGAL-G on WC and UR traffic with 16- and
+// 256-flit buffers.
+func Fig16(s Scale) ([]*Figure, error) {
+	algs := []core.Algorithm{core.AlgUGALLVCH, core.AlgUGALLCR, core.AlgUGALG}
+	var out []*Figure
+	for _, tc := range []struct {
+		pattern core.Pattern
+		buf     int
+		loads   []float64
+	}{
+		{core.PatternWC, 16, s.wcLoads()},
+		{core.PatternWC, 256, s.wcLoads()},
+		{core.PatternUR, 16, s.urLoads()},
+		{core.PatternUR, 256, s.urLoads()},
+	} {
+		sys, err := s.evalSystem(tc.buf)
+		if err != nil {
+			return nil, err
+		}
+		f := &Figure{
+			ID:     fmt.Sprintf("Figure 16 (%s, buffers=%d)", tc.pattern, tc.buf),
+			Title:  "Credit round-trip latency mechanism",
+			XLabel: "offered load",
+			YLabel: "avg latency (cycles), * = saturated",
+		}
+		for _, alg := range algs {
+			ser, err := s.sweep(sys, alg, tc.pattern, tc.loads)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s/buf%d: %w", alg, tc.pattern, tc.buf, err)
+			}
+			f.Series = append(f.Series, ser)
+		}
+		if tc.pattern == core.PatternWC {
+			f.Notes = append(f.Notes,
+				"expected shape: UGAL-L_CR cuts the minimal-packet latency hump and is buffer-size independent")
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// MinLatencyComparison distils the Figure 16 headline into two numbers:
+// the minimally-routed packet latency of UGAL-L_VCH versus UGAL-L_CR at
+// WC load 0.3.
+func MinLatencyComparison(s Scale, buf int) (vch, cr float64, err error) {
+	sys, err := s.evalSystem(buf)
+	if err != nil {
+		return 0, 0, err
+	}
+	resVCH, err := sys.Run(core.AlgUGALLVCH, core.PatternWC, 0.3, s.runCfg())
+	if err != nil {
+		return 0, 0, err
+	}
+	resCR, err := sys.Run(core.AlgUGALLCR, core.PatternWC, 0.3, s.runCfg())
+	if err != nil {
+		return 0, 0, err
+	}
+	return resVCH.MinLatency.Mean(), resCR.MinLatency.Mean(), nil
+}

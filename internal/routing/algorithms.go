@@ -1,0 +1,192 @@
+package routing
+
+import (
+	"fmt"
+
+	"dragonfly/internal/sim"
+)
+
+// MIN is minimal routing (Section 4.1): at most one local hop in the
+// source group, one global channel, and one local hop in the destination
+// group. Ideal on benign traffic, pathological on adversarial patterns.
+type MIN struct{ base }
+
+// NewMIN returns minimal routing over d.
+func NewMIN(d Topo) *MIN { return &MIN{base{topo: d}} }
+
+// Name implements sim.Routing.
+func (*MIN) Name() string { return "MIN" }
+
+// Decide implements sim.Routing: always minimal.
+func (m *MIN) Decide(net *sim.Network, r *sim.Router, pkt *sim.Packet) {
+	pkt.Minimal = true
+	pkt.InterGroup = -1
+}
+
+// VAL is Valiant's randomized algorithm applied at the group level
+// (Section 4.1): every packet first routes minimally to a random
+// intermediate group, then minimally to its destination. It halves the
+// worst case at the price of halving best-case throughput.
+type VAL struct{ base }
+
+// NewVAL returns Valiant routing over d.
+func NewVAL(d Topo) *VAL { return &VAL{base{topo: d}} }
+
+// Name implements sim.Routing.
+func (*VAL) Name() string { return "VAL" }
+
+// Decide implements sim.Routing: always non-minimal through a random
+// intermediate group.
+func (v *VAL) Decide(net *sim.Network, r *sim.Router, pkt *sim.Packet) {
+	gs := v.topo.RouterGroup(r.ID)
+	if v.topo.TerminalRouter(pkt.Dst) == r.ID {
+		pkt.Minimal = true
+		pkt.InterGroup = -1
+		return
+	}
+	pkt.Minimal = false
+	pkt.InterGroup = v.pickInterGroup(gs, pkt.Seed)
+}
+
+// UGALMode selects the congestion-estimate flavour of UGAL.
+type UGALMode int
+
+const (
+	// UGALLocal is conventional UGAL-L: total output-queue estimates at
+	// the source router.
+	UGALLocal UGALMode = iota
+	// UGALLocalVC is UGAL-L_VC: per-VC queue estimates, separating
+	// minimal (VC1) from non-minimal (VC0) occupancy (Section 4.3.1).
+	UGALLocalVC
+	// UGALLocalVCH is UGAL-L_VCH: per-VC estimates only when the two
+	// candidate paths leave through the same output port, total
+	// estimates otherwise (the paper's hybrid rule).
+	UGALLocalVCH
+	// UGALGlobal is UGAL-G: an ideal implementation reading the queues
+	// of the actual global channels, wherever they are in the group.
+	UGALGlobal
+)
+
+// String names the mode like the paper does.
+func (m UGALMode) String() string {
+	switch m {
+	case UGALLocal:
+		return "UGAL-L"
+	case UGALLocalVC:
+		return "UGAL-L_VC"
+	case UGALLocalVCH:
+		return "UGAL-L_VCH"
+	case UGALGlobal:
+		return "UGAL-G"
+	default:
+		return fmt.Sprintf("UGALMode(%d)", int(m))
+	}
+}
+
+// UGAL chooses between the minimal and a random Valiant path per packet
+// by comparing queue-length × hop-count products (Singh's UGAL), with
+// the congestion estimate selected by Mode.
+type UGAL struct {
+	base
+	// Mode selects the congestion estimate.
+	Mode UGALMode
+	// CreditRT marks the UGAL-L_CR configuration: the decision rule is
+	// UGAL-L_VCH and the simulator must run with Config.DelayCredits.
+	CreditRT bool
+}
+
+// NewUGAL returns a UGAL router over d with the given mode.
+func NewUGAL(d Topo, mode UGALMode) *UGAL {
+	return &UGAL{base: base{topo: d}, Mode: mode}
+}
+
+// NewUGALCR returns the UGAL-L_CR configuration: UGAL-L_VCH decisions
+// designed to run with the credit round-trip latency mechanism enabled
+// (sim.Config.DelayCredits = true; see NeedsCreditDelay).
+func NewUGALCR(d Topo) *UGAL {
+	return &UGAL{base: base{topo: d}, Mode: UGALLocalVCH, CreditRT: true}
+}
+
+// Name implements sim.Routing.
+func (u *UGAL) Name() string {
+	if u.CreditRT {
+		return "UGAL-L_CR"
+	}
+	return u.Mode.String()
+}
+
+// NeedsCreditDelay reports that the simulator should enable the delayed-
+// credit mechanism for this algorithm.
+func (u *UGAL) NeedsCreditDelay() bool { return u.CreditRT }
+
+// Decide implements sim.Routing: the source-router adaptive choice.
+func (u *UGAL) Decide(net *sim.Network, r *sim.Router, pkt *sim.Packet) {
+	t := u.topo
+	dstR := t.TerminalRouter(pkt.Dst)
+	if dstR == r.ID {
+		pkt.Minimal = true
+		pkt.InterGroup = -1
+		return
+	}
+	gs := t.RouterGroup(r.ID)
+	gd := t.RouterGroup(dstR)
+	gi := u.pickInterGroup(gs, pkt.Seed)
+
+	hm := u.minimalHops(r.ID, dstR, pkt.Seed)
+	hnm := u.nonminimalHops(r.ID, dstR, gi, pkt.Seed)
+
+	portM, vcM := u.hop(r.ID, dstR, gd, true, pkt.Seed)
+	portNm, vcNm := u.hop(r.ID, dstR, gi, false, pkt.Seed)
+
+	var qm, qnm int
+	switch u.Mode {
+	case UGALLocal:
+		qm = r.OutputQueue(portM)
+		qnm = r.OutputQueue(portNm)
+	case UGALLocalVC:
+		qm = r.OutputQueueVC(portM, vcM)
+		qnm = r.OutputQueueVC(portNm, vcNm)
+	case UGALLocalVCH:
+		if portM == portNm {
+			qm = r.OutputQueueVC(portM, vcM)
+			qnm = r.OutputQueueVC(portNm, vcNm)
+		} else {
+			qm = r.OutputQueue(portM)
+			qnm = r.OutputQueue(portNm)
+		}
+	case UGALGlobal:
+		qm, qnm = u.globalQueues(net, r, dstR, gs, gd, gi, pkt.Seed, portM, portNm)
+	}
+
+	if qm*hm <= qnm*hnm {
+		pkt.Minimal = true
+		pkt.InterGroup = -1
+		return
+	}
+	pkt.Minimal = false
+	pkt.InterGroup = gi
+}
+
+// globalQueues implements the UGAL-G oracle: the congestion of the two
+// candidate paths is read at the routers that actually source their
+// global channels, regardless of where in the group those routers are.
+// For an intra-group minimal path (no global channel) the local output
+// queue stands in.
+func (u *UGAL) globalQueues(net *sim.Network, r *sim.Router, dstR, gs, gd, gi int, seed uint64, portM, portNm int) (qm, qnm int) {
+	t := u.topo
+	if gs == gd {
+		qm = r.OutputQueue(portM)
+	} else {
+		slot := u.chooseSlot(gs, gd, seed)
+		owner := net.RouterAt(t.GroupRouter(gs, t.SlotRouterIndex(slot)))
+		qm = owner.OutputQueue(t.GlobalPort(slot))
+	}
+	if gi == gs {
+		qnm = qm
+	} else {
+		slot := u.chooseSlot(gs, gi, seed)
+		owner := net.RouterAt(t.GroupRouter(gs, t.SlotRouterIndex(slot)))
+		qnm = owner.OutputQueue(t.GlobalPort(slot))
+	}
+	return qm, qnm
+}

@@ -1,0 +1,191 @@
+// Package routing implements the dragonfly routing algorithms of
+// Section 4 of the paper:
+//
+//   - MIN — minimal routing (Section 4.1, three steps).
+//   - VAL — Valiant randomized routing over intermediate groups
+//     (Section 4.1, five steps).
+//   - UGAL-L — universal globally-adaptive load-balanced routing using
+//     local queue estimates at the source router.
+//   - UGAL-G — the ideal variant with oracle access to the queues of
+//     every global channel in the source group.
+//   - UGAL-L_VC — queue estimates discriminated by virtual channel
+//     (Section 4.3.1).
+//   - UGAL-L_VCH — the hybrid: VC discrimination only when the minimal
+//     and non-minimal candidates share an output port (Section 4.3.1).
+//   - UGAL-L_CR — UGAL-L_VCH on top of the credit round-trip latency
+//     mechanism (Section 4.3.2); the mechanism itself lives in
+//     internal/sim and is switched on via Config.DelayCredits.
+//
+// Virtual channels are assigned per Figure 7 to break routing deadlock:
+// along any path the (class, VC) level is non-decreasing —
+// non-minimal paths use l:VC0 → g:VC0 → l:VC1 → g:VC1 → l:VC2 and
+// minimal paths the suffix l:VC1 → g:VC1 → l:VC2. Minimal and
+// non-minimal packets therefore use distinct VCs on a shared first local
+// hop (VC1 vs. VC0), which is exactly the discrimination UGAL-L_VC
+// needs.
+package routing
+
+import (
+	"dragonfly/internal/sim"
+)
+
+// VCs is the number of virtual channels the algorithms require
+// (Figure 7: two for minimal plus a third for non-minimal routing).
+const VCs = 3
+
+// Virtual-channel levels (see the package comment).
+const (
+	vcPhase0  = 0 // local and global hops towards the intermediate group
+	vcPhase1  = 1 // local and global hops towards the destination group
+	vcDestHop = 2 // the final local hop inside the destination group
+)
+
+// Topo is the structural view of a dragonfly the routing algorithms
+// need. Both *topology.Dragonfly (canonical, fully connected groups) and
+// *topology.DragonflyFB (Figure 6(b), flattened-butterfly groups)
+// implement it.
+type Topo interface {
+	// Groups returns the group count.
+	Groups() int
+	// TerminalRouter and TerminalPort locate a terminal.
+	TerminalRouter(t int) int
+	TerminalPort(t int) int
+	// RouterGroup, RouterIndex and GroupRouter convert between router
+	// ids and (group, in-group index) pairs.
+	RouterGroup(r int) int
+	RouterIndex(r int) int
+	GroupRouter(grp, idx int) int
+	// LocalRoute returns the next-hop local port from in-group index
+	// `from` towards `to`; LocalHops the intra-group distance.
+	LocalRoute(from, to int) int
+	LocalHops(from, to int) int
+	// GlobalPort and SlotRouterIndex locate a global-channel slot;
+	// ChannelsBetween, GlobalSlot and GlobalEntryRouter describe the
+	// inter-group wiring.
+	GlobalPort(slot int) int
+	SlotRouterIndex(slot int) int
+	ChannelsBetween(ga, gb int) int
+	GlobalSlot(grp, dst, m int) int
+	GlobalEntryRouter(grp, dst, slot int) int
+}
+
+// base carries the dragonfly structure all algorithms share.
+type base struct {
+	topo Topo
+}
+
+// hop computes the switch request (output port, VC) for a packet at
+// router rID heading for target group tg with destination router dstR.
+// phase1 reports whether tg is the packet's final destination group.
+// seed drives the deterministic choice among parallel global channels,
+// so Decide-time congestion queries inspect exactly the channel NextHop
+// will use.
+func (b *base) hop(rID, dstR, tg int, phase1 bool, seed uint64) (port, vc int) {
+	t := b.topo
+	cur := t.RouterGroup(rID)
+	idx := t.RouterIndex(rID)
+	if cur == tg {
+		// Local hop(s) inside the destination group (dimension-order for
+		// flattened-butterfly groups, direct otherwise).
+		return t.LocalRoute(idx, t.RouterIndex(dstR)), vcDestHop
+	}
+	slot := b.chooseSlot(cur, tg, seed)
+	level := vcPhase0
+	if phase1 {
+		level = vcPhase1
+	}
+	if t.SlotRouterIndex(slot) == idx {
+		return t.GlobalPort(slot), level
+	}
+	return t.LocalRoute(idx, t.SlotRouterIndex(slot)), level
+}
+
+// chooseSlot picks the global-channel slot from group cur to group tg,
+// deterministically per packet, uniformly among the parallel channels of
+// the pair.
+func (b *base) chooseSlot(cur, tg int, seed uint64) int {
+	n := b.topo.ChannelsBetween(cur, tg)
+	m := 0
+	if n > 1 {
+		m = int(sim.Mix(seed+uint64(cur)*0x9e37) % uint64(n))
+	}
+	return b.topo.GlobalSlot(cur, tg, m)
+}
+
+// NextHop resolves the packet's phase and target group, then computes
+// the hop request. It satisfies sim.Routing for every algorithm.
+func (b *base) NextHop(net *sim.Network, r *sim.Router, pkt *sim.Packet) {
+	t := b.topo
+	dstR := t.TerminalRouter(pkt.Dst)
+	if r.ID == dstR {
+		pkt.NextPort = t.TerminalPort(pkt.Dst)
+		pkt.NextVC = 0
+		return
+	}
+	cur := t.RouterGroup(r.ID)
+	if !pkt.Phase1() && cur == pkt.InterGroup {
+		pkt.SetPhase1()
+	}
+	tg := t.RouterGroup(dstR)
+	if !pkt.Phase1() {
+		tg = pkt.InterGroup
+	}
+	if !pkt.Phase1() && cur == tg {
+		// InterGroup equals the source group: degenerate to phase 1.
+		pkt.SetPhase1()
+		tg = t.RouterGroup(dstR)
+	}
+	pkt.NextPort, pkt.NextVC = b.hop(r.ID, dstR, tg, pkt.Phase1(), pkt.Seed)
+}
+
+// minimalHops returns H_m: the router-to-router channel count of the
+// minimal path from rID to dstR using the packet's slot choice: the
+// intra-group hops to the global channel, the global channel, and the
+// intra-group hops inside the destination group.
+func (b *base) minimalHops(rID, dstR int, seed uint64) int {
+	if rID == dstR {
+		return 0
+	}
+	t := b.topo
+	gs, gd := t.RouterGroup(rID), t.RouterGroup(dstR)
+	if gs == gd {
+		return t.LocalHops(t.RouterIndex(rID), t.RouterIndex(dstR))
+	}
+	slot := b.chooseSlot(gs, gd, seed)
+	hops := t.LocalHops(t.RouterIndex(rID), t.SlotRouterIndex(slot)) + 1
+	entry := t.GlobalEntryRouter(gs, gd, slot)
+	return hops + t.LocalHops(t.RouterIndex(entry), t.RouterIndex(dstR))
+}
+
+// nonminimalHops returns H_nm: the channel count of the Valiant path
+// through intermediate group gi, following the same deterministic slot
+// choices NextHop will make.
+func (b *base) nonminimalHops(rID, dstR, gi int, seed uint64) int {
+	t := b.topo
+	gs, gd := t.RouterGroup(rID), t.RouterGroup(dstR)
+	if gi == gs {
+		return b.minimalHops(rID, dstR, seed)
+	}
+	slot1 := b.chooseSlot(gs, gi, seed)
+	hops := t.LocalHops(t.RouterIndex(rID), t.SlotRouterIndex(slot1)) + 1
+	rx := t.GlobalEntryRouter(gs, gi, slot1)
+	if gi == gd {
+		return hops + t.LocalHops(t.RouterIndex(rx), t.RouterIndex(dstR))
+	}
+	slot2 := b.chooseSlot(gi, gd, seed)
+	hops += t.LocalHops(t.RouterIndex(rx), t.SlotRouterIndex(slot2)) + 1
+	entry := t.GlobalEntryRouter(gi, gd, slot2)
+	return hops + t.LocalHops(t.RouterIndex(entry), t.RouterIndex(dstR))
+}
+
+// pickInterGroup draws the Valiant intermediate group for a packet,
+// uniform over all groups except the source group (a candidate equal to
+// the source group carries no load-balancing value).
+func (b *base) pickInterGroup(gs int, seed uint64) int {
+	g := b.topo.Groups()
+	gi := int(sim.Mix(seed^0xd1b54a32d192ed03) % uint64(g-1))
+	if gi >= gs {
+		gi++
+	}
+	return gi
+}

@@ -1,0 +1,127 @@
+// Package sim is a cycle-accurate flit-level interconnection-network
+// simulator in the style the paper evaluates with (Section 4.2):
+// single-cycle input-queued routers with virtual channels and
+// credit-based flow control, Bernoulli packet injection, and the
+// warm-up → tagged-measurement → drain methodology of Dally & Towles.
+//
+// The simulator is topology-agnostic: it consumes the wiring table of a
+// topology.Graph and delegates every path decision to a Routing
+// implementation (internal/routing provides the paper's algorithms). It
+// also implements the paper's credit round-trip latency mechanism
+// (Section 4.3.2, Figure 17(b)): per-output credit-timestamp queues
+// measure t_crt, and returned credits are delayed by the output's
+// congestion estimate t_d relative to the least-congested output, which
+// stiffens backpressure without shrinking buffers.
+package sim
+
+import (
+	"fmt"
+
+	"dragonfly/internal/topology"
+)
+
+// Config parameterises a simulation.
+type Config struct {
+	// BufDepth is the input-buffer depth per virtual channel, in flits.
+	// The paper uses 16 by default and 256 to emulate a YARC-class
+	// router's virtual cut-through buffers.
+	BufDepth int
+	// OutDepth is the output-buffer depth per virtual channel. The
+	// modelled router is two-stage (input and output buffered, like the
+	// YARC router the paper references): a flit frees its input slot
+	// when it crosses the crossbar into the output buffer. The output
+	// stage is a small decoupling FIFO — congestion must queue in the
+	// credit-visible input buffers, or upstream routers could never
+	// sense it (Section 4.3). 0 means the default of 4.
+	OutDepth int
+	// VCs is the number of virtual channels per port. The dragonfly
+	// routing algorithms need 3 (two for minimal routing plus one more
+	// for non-minimal, Figure 7).
+	VCs int
+	// LocalLatency and GlobalLatency are the cycle counts to traverse
+	// local/terminal and global channels. Global channels are the long
+	// optical cables, so they default higher.
+	LocalLatency, GlobalLatency int
+	// DelayCredits enables the credit round-trip latency mechanism
+	// (UGAL-L_CR): returned credits are delayed by t_d(out)−min t_d so
+	// upstream routers sense downstream congestion sooner. Credits
+	// returning across global channels are never delayed.
+	DelayCredits bool
+	// DelaySlack tunes the credit-delay gate: an output's congestion
+	// estimate must exceed twice the router's least-congested output
+	// plus this slack before its credits are delayed, so the ordinary
+	// queueing jitter of a loaded but balanced network does not trigger
+	// the mechanism. 0 means the default of 8 cycles.
+	DelaySlack int
+	// Seed makes runs reproducible.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's baseline simulation parameters.
+func DefaultConfig() Config {
+	return Config{
+		BufDepth:      16,
+		VCs:           3,
+		LocalLatency:  1,
+		GlobalLatency: 2,
+		Seed:          1,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.BufDepth < 1:
+		return fmt.Errorf("sim: BufDepth must be >= 1 (got %d)", c.BufDepth)
+	case c.OutDepth < 0:
+		return fmt.Errorf("sim: OutDepth must be >= 0 (got %d)", c.OutDepth)
+	case c.VCs < 1:
+		return fmt.Errorf("sim: VCs must be >= 1 (got %d)", c.VCs)
+	case c.LocalLatency < 1:
+		return fmt.Errorf("sim: LocalLatency must be >= 1 (got %d)", c.LocalLatency)
+	case c.GlobalLatency < 1:
+		return fmt.Errorf("sim: GlobalLatency must be >= 1 (got %d)", c.GlobalLatency)
+	}
+	return nil
+}
+
+// Routing decides packet paths. Implementations live in internal/routing;
+// the simulator calls Decide exactly once per packet — when it first
+// reaches the head of its source queue at the source router — and
+// NextHop every time a packet is buffered at a router (including right
+// after Decide), to obtain the switch request for the current hop.
+//
+// NextHop must set pkt.NextPort/pkt.NextVC; a NextPort that is a terminal
+// port of the current router ejects the packet.
+type Routing interface {
+	// Name identifies the algorithm in results and logs.
+	Name() string
+	// Decide makes the source-router adaptive decision (minimal vs.
+	// Valiant, intermediate group) for pkt, which is at router r.
+	Decide(net *Network, r *Router, pkt *Packet)
+	// NextHop computes the current hop's output port and VC for pkt
+	// buffered at router r.
+	NextHop(net *Network, r *Router, pkt *Packet)
+}
+
+// Traffic supplies each injected packet's destination terminal.
+// Implementations live in internal/traffic.
+type Traffic interface {
+	// Name identifies the pattern.
+	Name() string
+	// Dest returns the destination terminal for a packet injected at
+	// terminal src. rand is a fresh 64-bit random value the pattern may
+	// use for randomized destinations.
+	Dest(src int, rand uint64) int
+}
+
+// Topology is the wiring view the simulator needs; *topology.Graph and
+// the concrete topologies embedding it satisfy it.
+type Topology interface {
+	Routers() int
+	Terminals() int
+	Radix(router int) int
+	Port(router, port int) topology.Port
+	TerminalRouter(terminal int) int
+	TerminalPort(terminal int) int
+}

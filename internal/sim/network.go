@@ -1,0 +1,416 @@
+package sim
+
+import (
+	"fmt"
+
+	"dragonfly/internal/topology"
+)
+
+// Network is a running simulation instance: the routers, channels and
+// terminals of one topology, plus injection and measurement state.
+type Network struct {
+	topo    Topology
+	cfg     Config
+	routing Routing
+	traffic Traffic
+
+	now     int64
+	routers []*Router
+	links   []*link
+
+	termRNG []rng
+	pool    packetPool
+	nextID  uint64
+
+	// Injection control.
+	load float64
+
+	// Measurement state (driven by Run).
+	measuring   bool
+	outstanding int // measured packets still in flight
+	inFlight    int // all packets in flight (for deadlock detection)
+	lastMove    int64
+
+	injectedWindow int64
+	ejectedWindow  int64
+	countWindow    bool
+
+	// utilization counting (enabled on demand); indexed by link id.
+	util []int64
+
+	// OnEject, when non-nil, observes every ejected packet before it is
+	// recycled; the packet must not be retained.
+	OnEject func(p *Packet, now int64)
+}
+
+// New builds a network over topo with the given algorithm and traffic
+// pattern. The topology is not copied; it must not be mutated afterwards.
+func New(topo Topology, cfg Config, routing Routing, traffic Traffic) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if topo.Routers() == 0 || topo.Terminals() == 0 {
+		return nil, fmt.Errorf("sim: topology has no routers or terminals")
+	}
+	n := &Network{
+		topo:    topo,
+		cfg:     cfg,
+		routing: routing,
+		traffic: traffic,
+	}
+	n.routers = make([]*Router, topo.Routers())
+	for r := range n.routers {
+		n.routers[r] = newRouter(r, topo, cfg)
+	}
+	// Build one directed link per non-terminal port direction and cross-
+	// wire the in/out references.
+	for r := range n.routers {
+		rt := n.routers[r]
+		for p := 0; p < rt.radix; p++ {
+			pt := topo.Port(r, p)
+			if pt.Class == topology.ClassTerminal {
+				continue
+			}
+			lat := int64(cfg.LocalLatency)
+			if pt.Class == topology.ClassGlobal {
+				lat = int64(cfg.GlobalLatency)
+			}
+			l := &link{
+				id:      len(n.links),
+				src:     r,
+				srcPort: p,
+				dst:     pt.PeerRouter,
+				dstPort: pt.PeerPort,
+				latency: lat,
+				global:  pt.Class == topology.ClassGlobal,
+			}
+			n.links = append(n.links, l)
+			rt.outLink[p] = l
+			rt.tcrt0[p] = 2 * lat
+			// Credits for router-to-router outputs start full.
+			for vc := 0; vc < cfg.VCs; vc++ {
+				rt.credits[p][vc] = cfg.BufDepth
+			}
+		}
+	}
+	for _, l := range n.links {
+		n.routers[l.dst].inLink[l.dstPort] = l
+	}
+	n.termRNG = make([]rng, topo.Terminals())
+	for t := range n.termRNG {
+		n.termRNG[t] = newRNG(cfg.Seed, uint64(t))
+	}
+	return n, nil
+}
+
+// Now returns the current cycle.
+func (n *Network) Now() int64 { return n.now }
+
+// Config returns the simulation configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Topology returns the wiring the network was built over.
+func (n *Network) Topology() Topology { return n.topo }
+
+// RouterAt returns the simulation state of router id. Routing algorithms
+// use it for remote (UGAL-G) or local congestion queries.
+func (n *Network) RouterAt(id int) *Router { return n.routers[id] }
+
+// SetLoad sets the Bernoulli injection probability per terminal per
+// cycle, in flits (load 1.0 = every terminal injects every cycle).
+func (n *Network) SetLoad(load float64) { n.load = load }
+
+// EnableUtilization switches on per-channel flit counting.
+func (n *Network) EnableUtilization() {
+	if n.util == nil {
+		n.util = make([]int64, len(n.links))
+	}
+}
+
+// ResetUtilization clears the per-channel counters.
+func (n *Network) ResetUtilization() {
+	for i := range n.util {
+		n.util[i] = 0
+	}
+}
+
+// ChannelBusy returns the flit count recorded on the outgoing channel of
+// (router, port) since utilization counting was last reset, or -1 if the
+// port has no channel or counting is off.
+func (n *Network) ChannelBusy(router, port int) int64 {
+	l := n.routers[router].outLink[port]
+	if l == nil || n.util == nil {
+		return -1
+	}
+	return n.util[l.id]
+}
+
+// InFlight returns the number of packets buffered or on channels.
+func (n *Network) InFlight() int { return n.inFlight }
+
+// Step advances the simulation one cycle: deliver flits and credits that
+// completed their channel latency, inject new packets, make the
+// source-queue routing decisions, eject arrived packets, and forward one
+// flit per output channel on every router.
+func (n *Network) Step() {
+	n.now++
+	n.deliver()
+	n.inject()
+	for _, r := range n.routers {
+		n.admitSources(r)
+		n.eject(r)
+		n.transfer(r)
+		n.allocate(r)
+	}
+}
+
+// deliver moves flits and credits whose latency elapsed into their
+// destination routers. Delivered flits are routed immediately and placed
+// in the virtual output queue of their next hop.
+func (n *Network) deliver() {
+	for _, l := range n.links {
+		for {
+			f := l.flits.peek()
+			if f == nil || f.at > n.now {
+				break
+			}
+			e := l.flits.pop()
+			rt := n.routers[l.dst]
+			occ := &rt.inOcc[l.dstPort][e.vc]
+			if *occ >= rt.depth {
+				panic(fmt.Sprintf("sim: buffer overflow at router %d port %d vc %d (flow-control bug)", l.dst, l.dstPort, e.vc))
+			}
+			*occ++
+			e.pkt.InPort = l.dstPort
+			e.pkt.BufVC = int(e.vc)
+			e.pkt.hops++
+			e.pkt.arrive = n.now
+			n.routing.NextHop(n, rt, e.pkt)
+			rt.waitQ[e.pkt.NextPort][e.pkt.NextVC].push(e.pkt)
+		}
+		for {
+			c := l.credits.peek()
+			if c == nil || c.at > n.now {
+				break
+			}
+			e := l.credits.pop()
+			rt := n.routers[l.src]
+			rt.credits[l.srcPort][e.vc]++
+			if rt.credits[l.srcPort][e.vc] > rt.depth {
+				panic(fmt.Sprintf("sim: credit overflow at router %d port %d vc %d", l.src, l.srcPort, e.vc))
+			}
+			// Credit round-trip measurement (Figure 17(b)): pop the send
+			// timestamp and refresh t_d for this output.
+			if ts := rt.ctq[l.srcPort].peek(); ts != nil {
+				sent := rt.ctq[l.srcPort].pop()
+				tcrt := n.now - sent.at
+				td := tcrt - rt.tcrt0[l.srcPort]
+				if td < 0 {
+					td = 0
+				}
+				rt.td[l.srcPort] = ewma(rt.td[l.srcPort], td)
+			}
+		}
+	}
+}
+
+// inject performs the Bernoulli injection process at every terminal.
+func (n *Network) inject() {
+	if n.load <= 0 {
+		return
+	}
+	for t := 0; t < n.topo.Terminals(); t++ {
+		r := &n.termRNG[t]
+		if r.Float64() >= n.load {
+			continue
+		}
+		p := n.pool.get()
+		p.ID = n.nextID
+		n.nextID++
+		p.Seed = r.Next()
+		p.Src = t
+		p.Dst = n.traffic.Dest(t, r.Next())
+		p.CreateTime = n.now
+		p.InterGroup = -1
+		p.InPort = -1
+		p.Measured = n.measuring
+		if p.Measured {
+			n.outstanding++
+		}
+		n.inFlight++
+		if n.countWindow {
+			n.injectedWindow++
+		}
+		rt := n.routers[n.topo.TerminalRouter(t)]
+		rt.srcQ[n.topo.TerminalPort(t)].push(p)
+	}
+}
+
+// admitSources moves at most one packet per terminal per cycle from its
+// source queue into the router's terminal input buffer (the terminal
+// channel bandwidth), making the source-router routing decision at that
+// moment. Admission requires a free input slot, so source queues feel
+// the router's backpressure like any upstream channel.
+func (n *Network) admitSources(r *Router) {
+	for p := 0; p < r.radix; p++ {
+		if !r.isTerm[p] {
+			continue
+		}
+		head := r.srcQ[p].peek()
+		if head == nil || r.inOcc[p][0] >= r.depth {
+			continue
+		}
+		r.srcQ[p].pop()
+		r.inOcc[p][0]++
+		head.InPort = p
+		head.BufVC = 0
+		head.InjectTime = n.now
+		head.arrive = n.now
+		head.Decided = true
+		n.routing.Decide(n, r, head)
+		if head.Minimal {
+			head.SetPhase1()
+		}
+		n.routing.NextHop(n, r, head)
+		r.waitQ[head.NextPort][head.NextVC].push(head)
+	}
+}
+
+// eject drains every flit queued for a terminal output. Ejection
+// bandwidth is unconstrained, modelling the paper's assumption of
+// sufficient router speedup so that ejection is never the bottleneck.
+func (n *Network) eject(r *Router) {
+	for p := 0; p < r.radix; p++ {
+		if !r.isTerm[p] {
+			continue
+		}
+		for vc := 0; vc < r.vcs; vc++ {
+			q := &r.waitQ[p][vc]
+			for q.len() > 0 {
+				pkt := q.pop()
+				n.departed(r, pkt)
+				pkt.EjectTime = n.now
+				if pkt.Measured {
+					n.outstanding--
+				}
+				n.inFlight--
+				if n.countWindow {
+					n.ejectedWindow++
+				}
+				n.lastMove = n.now
+				if n.OnEject != nil {
+					n.OnEject(pkt, n.now)
+				}
+				n.pool.put(pkt)
+			}
+		}
+	}
+}
+
+// departed frees packet pkt's input-buffer slot and returns the credit
+// upstream when it crosses the crossbar (or ejects) at router r.
+func (n *Network) departed(r *Router, pkt *Packet) {
+	r.inOcc[pkt.InPort][pkt.BufVC]--
+	up := r.inLink[pkt.InPort]
+	if up == nil {
+		return // terminal input: the freed slot is visible directly
+	}
+	var delay int64
+	// Credit round-trip congestion signalling: delay the credit by the
+	// congestion estimate of the output the packet went to, relative to
+	// the router's least-congested output. Credits crossing global
+	// channels are never delayed (Section 4.3.2), which both bounds the
+	// mechanism and keeps the expensive channels fully utilisable.
+	if n.cfg.DelayCredits && !up.global && !r.isTerm[pkt.NextPort] {
+		// The delay uses only the locally measured crossing wait; folding
+		// the downstream round-trip excess back in would compound the
+		// delays recursively hop-by-hop and throttle uniformly loaded
+		// networks. The baseline subtracted is the router's second most
+		// congested output (the robust form of the paper's variance
+		// trick): only an outlier output — a genuine hot spot — delays
+		// credits, never the queueing jitter of a busy balanced router.
+		slack := int64(n.cfg.DelaySlack)
+		if slack == 0 {
+			slack = 8
+		}
+		if out := r.outLink[pkt.NextPort]; out != nil && out.global {
+			base := r.baseCrossTD()
+			if td := r.crossTd[pkt.NextPort]; td > 2*base+slack {
+				delay = td - base - slack
+			}
+		}
+	}
+	up.credits.push(uint8(pkt.BufVC), n.now+up.latency+delay)
+}
+
+// transfer crosses the crossbar: flits move from waitQ into the bounded
+// output buffers at unlimited rate (the "sufficient speedup" of Section
+// 4.2), freeing their input slots and returning credits upstream.
+func (n *Network) transfer(r *Router) {
+	for out := 0; out < r.radix; out++ {
+		if r.outLink[out] == nil {
+			continue // terminal outputs eject straight from waitQ
+		}
+		for vc := 0; vc < r.vcs; vc++ {
+			w := &r.waitQ[out][vc]
+			q := &r.outQ[out][vc]
+			for w.len() > 0 && q.len() < r.outDepth {
+				pkt := w.pop()
+				if n.cfg.DelayCredits {
+					r.crossTd[out] = asymEwma(r.crossTd[out], n.now-pkt.arrive)
+				}
+				n.departed(r, pkt)
+				q.push(pkt)
+			}
+		}
+	}
+}
+
+// allocate forwards at most one flit per output channel per cycle from
+// the output buffer, round-robin over the output's VCs.
+func (n *Network) allocate(r *Router) {
+	for out := 0; out < r.radix; out++ {
+		l := r.outLink[out]
+		if l == nil {
+			continue // terminal outputs are handled by eject
+		}
+		start := r.outRR[out]
+		for i := 0; i < r.vcs; i++ {
+			vc := start + i
+			if vc >= r.vcs {
+				vc -= r.vcs
+			}
+			q := &r.outQ[out][vc]
+			if q.len() == 0 || r.credits[out][vc] <= 0 {
+				continue
+			}
+			pkt := q.pop()
+			r.credits[out][vc]--
+			r.ctq[out].push(0, n.now)
+			l.flits.push(flitEntry{pkt: pkt, vc: uint8(vc), at: n.now + l.latency})
+			if n.util != nil {
+				n.util[l.id]++
+			}
+			r.outRR[out] = vc + 1
+			if r.outRR[out] >= r.vcs {
+				r.outRR[out] -= r.vcs
+			}
+			n.lastMove = n.now
+			break
+		}
+	}
+}
+
+// TotalSourceBacklog sums the source-queue lengths across all terminals,
+// a cheap saturation indicator.
+func (n *Network) TotalSourceBacklog() int {
+	total := 0
+	for _, r := range n.routers {
+		for p := 0; p < r.radix; p++ {
+			if r.isTerm[p] {
+				total += r.srcQ[p].len()
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,88 @@
+package sim
+
+// Packet is a single-flit packet, the unit of transfer in the simulator.
+// Section 4.2 of the paper evaluates with single-flit packets to separate
+// routing from flow-control effects; the simulator follows suit (the
+// paper's footnote 6 reports that larger packets with virtual cut-through
+// do not change the trends).
+type Packet struct {
+	// ID is unique over the lifetime of a Network.
+	ID uint64
+	// Seed drives the packet's deterministic random choices (intermediate
+	// group, slot selection among parallel global channels).
+	Seed uint64
+	// Src and Dst are terminal ids.
+	Src, Dst int
+
+	// CreateTime is the cycle the packet entered its source queue;
+	// InjectTime the cycle it was admitted into its source router;
+	// EjectTime the cycle it reached its destination terminal. Latency is
+	// Eject-Create, which includes source queueing, as in the paper.
+	CreateTime, InjectTime, EjectTime int64
+
+	// Minimal reports the routing decision made at the source router.
+	Minimal bool
+	// InterGroup is the Valiant intermediate group for non-minimal
+	// packets, -1 for minimal ones.
+	InterGroup int
+	// phase1 becomes true once a non-minimal packet has reached its
+	// intermediate group and heads for the real destination. Minimal
+	// packets start in phase 1.
+	phase1 bool
+
+	// Decided marks that the source-router routing decision has been made
+	// (it happens once, when the packet first reaches the head of its
+	// source queue).
+	Decided bool
+
+	// NextPort and NextVC are the current hop's switch request, set by
+	// the routing algorithm when the packet is buffered at a router.
+	NextPort, NextVC int
+
+	// InPort and BufVC identify the input buffer slot the packet
+	// occupies at its current router: the port it was delivered on and
+	// the virtual channel it travelled in (the NextVC of the previous
+	// hop). The credit returned upstream when the packet departs names
+	// them. InPort is -1 for packets injected from a source queue.
+	InPort, BufVC int
+
+	// Measured marks packets created inside the measurement window.
+	Measured bool
+
+	hops   int
+	arrive int64 // cycle the packet arrived at its current router
+
+	next *Packet // pool free list
+}
+
+// Phase1 reports whether the packet is heading for its final destination
+// group (true) or still for its Valiant intermediate group (false).
+func (p *Packet) Phase1() bool { return p.phase1 }
+
+// SetPhase1 advances a non-minimal packet to its second phase. Routing
+// algorithms call it when the packet reaches its intermediate group.
+func (p *Packet) SetPhase1() { p.phase1 = true }
+
+// packetPool recycles packets to keep the hot loop allocation-free.
+type packetPool struct {
+	free *Packet
+}
+
+func (pp *packetPool) get() *Packet {
+	if pp.free == nil {
+		return &Packet{}
+	}
+	p := pp.free
+	pp.free = p.next
+	*p = Packet{}
+	return p
+}
+
+func (pp *packetPool) put(p *Packet) {
+	p.next = pp.free
+	pp.free = p
+}
+
+// Hops counts the router-to-router channels the packet has traversed;
+// maintained by the simulator, used by tests and diagnostics.
+func (p *Packet) Hops() int { return p.hops }

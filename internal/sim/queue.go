@@ -1,0 +1,156 @@
+package sim
+
+// pktQueue is a growable FIFO of packets (ring buffer). Input-buffer
+// queues are bounded by credits, source queues are unbounded; both use
+// the same structure.
+type pktQueue struct {
+	buf  []*Packet
+	head int
+	n    int
+}
+
+func (q *pktQueue) len() int { return q.n }
+
+func (q *pktQueue) peek() *Packet {
+	if q.n == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+func (q *pktQueue) push(p *Packet) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.n++
+}
+
+func (q *pktQueue) pop() *Packet {
+	if q.n == 0 {
+		return nil
+	}
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return p
+}
+
+func (q *pktQueue) grow() {
+	cap := len(q.buf) * 2
+	if cap == 0 {
+		cap = 8
+	}
+	nb := make([]*Packet, cap)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+// flitEntry is a packet in flight on a link.
+type flitEntry struct {
+	pkt *Packet
+	vc  uint8
+	at  int64
+}
+
+// flitQueue is a FIFO delay line for flits on a channel. Entries are
+// enqueued with non-decreasing delivery times because every flit on a
+// given channel has the same latency.
+type flitQueue struct {
+	buf  []flitEntry
+	head int
+	n    int
+}
+
+func (q *flitQueue) len() int { return q.n }
+
+func (q *flitQueue) push(e flitEntry) {
+	if q.n == len(q.buf) {
+		q.growTo(2 * (len(q.buf) + 4))
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = e
+	q.n++
+}
+
+func (q *flitQueue) peek() *flitEntry {
+	if q.n == 0 {
+		return nil
+	}
+	return &q.buf[q.head]
+}
+
+func (q *flitQueue) pop() flitEntry {
+	e := q.buf[q.head]
+	q.buf[q.head] = flitEntry{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return e
+}
+
+func (q *flitQueue) growTo(cap int) {
+	nb := make([]flitEntry, cap)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+// creditEntry is a credit on its way back upstream.
+type creditEntry struct {
+	vc uint8
+	at int64
+}
+
+// creditQueue is the upstream delay line for credits. The credit
+// round-trip mechanism can delay individual credits, so delivery times
+// are forced monotone on push: flits and credits are 1:1 and keep
+// ordering (Section 4.3.2), meaning a delayed credit holds back the ones
+// behind it.
+type creditQueue struct {
+	buf    []creditEntry
+	head   int
+	n      int
+	lastAt int64
+}
+
+func (q *creditQueue) len() int { return q.n }
+
+func (q *creditQueue) push(vc uint8, at int64) {
+	if at < q.lastAt {
+		at = q.lastAt
+	}
+	q.lastAt = at
+	if q.n == len(q.buf) {
+		q.growTo(2 * (len(q.buf) + 4))
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = creditEntry{vc: vc, at: at}
+	q.n++
+}
+
+func (q *creditQueue) peek() *creditEntry {
+	if q.n == 0 {
+		return nil
+	}
+	return &q.buf[q.head]
+}
+
+func (q *creditQueue) pop() creditEntry {
+	e := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return e
+}
+
+func (q *creditQueue) growTo(cap int) {
+	nb := make([]creditEntry, cap)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}

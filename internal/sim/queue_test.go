@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPktQueueFIFO(t *testing.T) {
+	var q pktQueue
+	if q.pop() != nil || q.peek() != nil || q.len() != 0 {
+		t.Fatal("empty queue misbehaves")
+	}
+	pkts := make([]*Packet, 20)
+	for i := range pkts {
+		pkts[i] = &Packet{ID: uint64(i)}
+		q.push(pkts[i])
+	}
+	if q.len() != 20 {
+		t.Fatalf("len = %d", q.len())
+	}
+	for i := range pkts {
+		if q.peek() != pkts[i] {
+			t.Fatalf("peek out of order at %d", i)
+		}
+		if q.pop() != pkts[i] {
+			t.Fatalf("pop out of order at %d", i)
+		}
+	}
+	if q.len() != 0 {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+func TestPktQueueWrapAround(t *testing.T) {
+	// Interleave pushes and pops so head wraps around the ring multiple
+	// times, including across growth.
+	var q pktQueue
+	next := uint64(0)
+	want := uint64(0)
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 3; i++ {
+			q.push(&Packet{ID: next})
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			p := q.pop()
+			if p == nil || p.ID != want {
+				t.Fatalf("round %d: popped %v, want %d", round, p, want)
+			}
+			want++
+		}
+	}
+	for q.len() > 0 {
+		p := q.pop()
+		if p.ID != want {
+			t.Fatalf("drain: popped %d, want %d", p.ID, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("lost packets: %d of %d", want, next)
+	}
+}
+
+func TestFlitQueueOrderAndGrowth(t *testing.T) {
+	var q flitQueue
+	for i := 0; i < 100; i++ {
+		q.push(flitEntry{pkt: &Packet{ID: uint64(i)}, vc: uint8(i % 3), at: int64(i)})
+	}
+	for i := 0; i < 100; i++ {
+		e := q.peek()
+		if e == nil || e.pkt.ID != uint64(i) || e.at != int64(i) {
+			t.Fatalf("entry %d out of order", i)
+		}
+		q.pop()
+	}
+	if q.len() != 0 {
+		t.Fatal("not drained")
+	}
+}
+
+func TestCreditQueueMonotoneDelivery(t *testing.T) {
+	// The credit-delay mechanism can compute earlier delivery times for
+	// later credits; the queue must clamp them monotone (credits keep
+	// their wire order).
+	var q creditQueue
+	q.push(0, 100)
+	q.push(1, 50) // would overtake; must clamp to 100
+	q.push(2, 150)
+	wants := []int64{100, 100, 150}
+	for i, want := range wants {
+		e := q.peek()
+		if e == nil || e.at != want {
+			t.Fatalf("credit %d: at=%v, want %d", i, e, want)
+		}
+		q.pop()
+	}
+}
+
+func TestCreditQueuePropertyFIFOCount(t *testing.T) {
+	f := func(ats []int16) bool {
+		var q creditQueue
+		for i, at := range ats {
+			q.push(uint8(i%3), int64(at))
+		}
+		n := 0
+		last := int64(-1 << 62)
+		for q.len() > 0 {
+			e := q.pop()
+			if e.at < last {
+				return false
+			}
+			last = e.at
+			n++
+		}
+		return n == len(ats)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPacketPoolReuse(t *testing.T) {
+	var pool packetPool
+	p1 := pool.get()
+	p1.ID = 42
+	p1.Minimal = true
+	pool.put(p1)
+	p2 := pool.get()
+	if p2 != p1 {
+		t.Error("pool did not reuse the freed packet")
+	}
+	if p2.ID != 0 || p2.Minimal {
+		t.Error("pool did not reset the packet")
+	}
+	// Getting again allocates fresh.
+	p3 := pool.get()
+	if p3 == p2 {
+		t.Error("pool returned an in-use packet")
+	}
+}
+
+func TestAsymEwmaAttackAndDecay(t *testing.T) {
+	// Slow attack: a single high sample barely moves the estimate.
+	if got := asymEwma(0, 320); got > 10 {
+		t.Errorf("attack too fast: %d", got)
+	}
+	// Repeated high samples converge upward.
+	v := int64(0)
+	for i := 0; i < 400; i++ {
+		v = asymEwma(v, 320)
+	}
+	if v < 300 {
+		t.Errorf("attack did not converge: %d", v)
+	}
+	// Decay is symmetric (1/32 gain down).
+	v2 := asymEwma(v, 0)
+	if v2 >= v || v-v2 > v/16+1 {
+		t.Errorf("decay rate wrong: %d -> %d", v, v2)
+	}
+}
+
+func TestEwma(t *testing.T) {
+	if got := ewma(0, 40); got != 10 {
+		t.Errorf("ewma(0,40) = %d, want 10", got)
+	}
+	if got := ewma(100, 100); got != 100 {
+		t.Errorf("ewma fixed point broken: %d", got)
+	}
+}
+
+func TestRNGStreamsDiffer(t *testing.T) {
+	// Neighbouring streams must not replay each other's sequences with a
+	// fixed shift — the bug class that synchronised the whole network.
+	a := newRNG(1, 10)
+	b := newRNG(1, 11)
+	aVals := make([]uint64, 32)
+	bVals := make([]uint64, 32)
+	for i := range aVals {
+		aVals[i] = a.Next()
+		bVals[i] = b.Next()
+	}
+	for shift := 0; shift < 8; shift++ {
+		same := 0
+		for i := 0; i+shift < len(aVals); i++ {
+			if aVals[i+shift] == bVals[i] || bVals[i+shift] == aVals[i] {
+				same++
+			}
+		}
+		if same > 0 {
+			t.Fatalf("streams overlap at shift %d", shift)
+		}
+	}
+}
+
+func TestRNGIntnAndFloat64Ranges(t *testing.T) {
+	r := newRNG(7, 3)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(13); v < 0 || v >= 13 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}

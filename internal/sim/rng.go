@@ -1,0 +1,48 @@
+package sim
+
+// rng is a SplitMix64 pseudo-random generator: tiny, fast, and
+// deterministic across platforms. Every terminal owns one, so simulation
+// results are reproducible for a given Config.Seed regardless of
+// iteration order, and packets carry a seed of their own so routing
+// choices (intermediate groups, slot selection) are a pure function of
+// the packet.
+type rng struct{ state uint64 }
+
+// newRNG seeds a generator. The stream id is passed through two full
+// mixing rounds before it touches the state: distinct streams must land
+// at effectively random offsets of the SplitMix64 sequence. (A linear
+// state offset like state = seed + gamma*stream makes stream t+1 replay
+// stream t's outputs shifted by one step — neighbouring terminals would
+// inject identical destination sequences one cycle apart, which
+// synchronises the whole network.)
+func newRNG(seed, stream uint64) rng {
+	return rng{state: Mix(Mix(stream+0x632be59bd9b4e019) ^ seed)}
+}
+
+// Next returns the next 64-bit value.
+func (r *rng) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *rng) Intn(n int) int {
+	return int(r.Next() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *rng) Float64() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// Mix hashes a value through one SplitMix64 finalizer, used to derive
+// per-packet deterministic choices without consuming generator state.
+func Mix(v uint64) uint64 {
+	v += 0x9e3779b97f4a7c15
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	return v ^ (v >> 31)
+}

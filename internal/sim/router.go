@@ -1,0 +1,285 @@
+package sim
+
+import "dragonfly/internal/topology"
+
+// link is one direction of a bidirectional channel: flits flow from
+// (src, srcPort) to (dst, dstPort) with a fixed latency, and the credits
+// for those flits flow back along the same wires.
+type link struct {
+	id           int
+	src, srcPort int
+	dst, dstPort int
+	latency      int64
+	global       bool
+	flits        flitQueue
+	credits      creditQueue
+}
+
+// Router holds the per-router simulation state.
+//
+// The modelled router is two-stage buffered, like the YARC router the
+// paper builds on (footnote 10), with "sufficient speedup" so the
+// crossbar is never the bottleneck (Section 4.2):
+//
+//   - Arriving flits occupy a credit-managed input-buffer slot per
+//     (input port, VC) and queue in waitQ[outPort][vc], the virtual
+//     output queue of their next hop.
+//   - The crossbar moves any number of flits per cycle from waitQ into
+//     the bounded output buffer outQ[outPort][vc] (depth outDepth); the
+//     move frees the input slot and returns its credit upstream.
+//   - Each output channel sends at most one flit per cycle from outQ —
+//     channel bandwidth is the real constraint.
+//
+// When an output is congested its outQ fills, flits back up in waitQ
+// still holding input slots, the input buffers fill, and upstream
+// credits dry up — the backpressure chain of the paper's Figure 13 —
+// while traffic crossing the same router toward uncongested outputs is
+// unaffected.
+type Router struct {
+	// ID is the router's index in the topology.
+	ID    int
+	radix int
+	vcs   int
+	depth int
+	// outDepth is the output-buffer depth per VC.
+	outDepth int
+
+	// srcQ[port] is the unbounded source (injection) queue of the
+	// terminal attached at `port`; nil entry for non-terminal ports.
+	srcQ []pktQueue
+
+	// waitQ[port][vc] holds flits routed to output `port`, VC `vc`, that
+	// have not crossed the crossbar yet; these flits still occupy their
+	// input-buffer slots. Terminal outputs (ejection) drain directly
+	// from waitQ.
+	waitQ [][]pktQueue
+
+	// outQ[port][vc] is the bounded output buffer feeding the channel.
+	outQ [][]pktQueue
+
+	// inOcc[port][vc] counts flits delivered on (port, vc) that have not
+	// crossed the crossbar (or ejected) yet; bounded by depth via
+	// upstream credits. Terminal ports use vc 0: the slot a packet
+	// admitted from the source queue occupies.
+	inOcc [][]int
+
+	// credits[port][vc] counts free downstream buffer slots for output
+	// `port`, VC `vc`. Terminal (ejection) ports have no credits.
+	credits [][]int
+
+	// outRR[port] round-robins over the VCs of an output.
+	outRR []int
+
+	// Credit round-trip state (Section 4.3.2): ctq holds the send
+	// timestamp of every outstanding flit per output port; td is the
+	// smoothed downstream congestion estimate t_crt - t_crt0; crossTd is
+	// the smoothed crossing wait (arrival to crossbar transfer) towards
+	// each output — the component of the credit round-trip an upstream
+	// router would attribute to this router. Their sum is the congestion
+	// estimate the delayed-credit mechanism uses.
+	ctq     []creditQueue // timestamp FIFO (vc field unused)
+	td      []int64
+	crossTd []int64
+	tcrt0   []int64
+
+	// outLink[port] carries flits out of this router (nil for terminal
+	// ports); inLink[port] is the reverse direction feeding the input
+	// (nil for terminal ports).
+	outLink []*link
+	inLink  []*link
+
+	// isTerm marks terminal ports.
+	isTerm []bool
+}
+
+func newRouter(id int, topo Topology, cfg Config) *Router {
+	radix := topo.Radix(id)
+	out := cfg.OutDepth
+	if out == 0 {
+		out = 4
+	}
+	r := &Router{
+		ID:       id,
+		radix:    radix,
+		vcs:      cfg.VCs,
+		depth:    cfg.BufDepth,
+		outDepth: out,
+	}
+	r.srcQ = make([]pktQueue, radix)
+	r.waitQ = make([][]pktQueue, radix)
+	r.outQ = make([][]pktQueue, radix)
+	r.inOcc = make([][]int, radix)
+	r.credits = make([][]int, radix)
+	r.outRR = make([]int, radix)
+	r.ctq = make([]creditQueue, radix)
+	r.td = make([]int64, radix)
+	r.crossTd = make([]int64, radix)
+	r.tcrt0 = make([]int64, radix)
+	r.outLink = make([]*link, radix)
+	r.inLink = make([]*link, radix)
+	r.isTerm = make([]bool, radix)
+	for p := 0; p < radix; p++ {
+		r.waitQ[p] = make([]pktQueue, cfg.VCs)
+		r.outQ[p] = make([]pktQueue, cfg.VCs)
+		r.inOcc[p] = make([]int, cfg.VCs)
+		r.credits[p] = make([]int, cfg.VCs)
+		r.isTerm[p] = topo.Port(id, p).Class == topology.ClassTerminal
+	}
+	return r
+}
+
+// Radix returns the number of ports (terminal ports included).
+func (r *Router) Radix() int { return r.radix }
+
+// IsTerminalPort reports whether port p attaches a terminal.
+func (r *Router) IsTerminalPort(p int) bool { return r.isTerm[p] }
+
+// Credits returns the free downstream slots for (port, vc).
+func (r *Router) Credits(port, vc int) int { return r.credits[port][vc] }
+
+// DownstreamQueueVC estimates the occupancy of the downstream buffer fed
+// by output `port`, VC `vc`: buffer depth minus available credits. It
+// counts flits buffered downstream plus flits and credits in flight.
+func (r *Router) DownstreamQueueVC(port, vc int) int {
+	return r.depth - r.credits[port][vc]
+}
+
+// DownstreamQueue sums DownstreamQueueVC over all VCs of `port`.
+func (r *Router) DownstreamQueue(port int) int {
+	q := 0
+	for vc := 0; vc < r.vcs; vc++ {
+		q += r.depth - r.credits[port][vc]
+	}
+	return q
+}
+
+// PendingOut returns the number of packets queued at this router for
+// output `port`, in the output buffer or still waiting to cross.
+func (r *Router) PendingOut(port int) int {
+	n := 0
+	for vc := 0; vc < r.vcs; vc++ {
+		n += r.waitQ[port][vc].len() + r.outQ[port][vc].len()
+	}
+	return n
+}
+
+// PendingOutVC returns the queued count for (port, vc).
+func (r *Router) PendingOutVC(port, vc int) int {
+	return r.waitQ[port][vc].len() + r.outQ[port][vc].len()
+}
+
+// OutputQueue is the congestion estimate UGAL uses for an output port:
+// packets waiting here for the port plus the estimated downstream
+// occupancy. It is the simulator's analogue of the paper's q.
+func (r *Router) OutputQueue(port int) int {
+	return r.PendingOut(port) + r.DownstreamQueue(port)
+}
+
+// OutputQueueVC is the per-VC congestion estimate (the paper's q_vc),
+// used by the UGAL-L_VC variants to discriminate minimal from
+// non-minimal occupancy on a shared output port.
+func (r *Router) OutputQueueVC(port, vc int) int {
+	return r.PendingOutVC(port, vc) + r.DownstreamQueueVC(port, vc)
+}
+
+// InputOccupancy returns the occupied slots of input buffer (port, vc).
+func (r *Router) InputOccupancy(port, vc int) int { return r.inOcc[port][vc] }
+
+// SourceQueueLen returns the backlog of the source queue on terminal
+// port p (0 for non-terminal ports).
+func (r *Router) SourceQueueLen(p int) int {
+	if !r.isTerm[p] {
+		return 0
+	}
+	return r.srcQ[p].len()
+}
+
+// BufferedPackets returns the number of packets held at the router,
+// source queues included.
+func (r *Router) BufferedPackets() int {
+	n := 0
+	for p := 0; p < r.radix; p++ {
+		n += r.srcQ[p].len()
+		for vc := 0; vc < r.vcs; vc++ {
+			n += r.waitQ[p][vc].len() + r.outQ[p][vc].len()
+		}
+	}
+	return n
+}
+
+// TD returns the current congestion estimate t_d of output `port`: the
+// smoothed local crossing wait plus the downstream credit round-trip
+// excess.
+func (r *Router) TD(port int) int64 { return r.crossTd[port] + r.td[port] }
+
+// CrossTD returns the smoothed crossing wait of output `port`.
+func (r *Router) CrossTD(port int) int64 { return r.crossTd[port] }
+
+// RTTTD returns the smoothed credit round-trip excess of output `port`.
+func (r *Router) RTTTD(port int) int64 { return r.td[port] }
+
+// minTD returns min over non-terminal outputs of t_d, the baseline the
+// credit-delay mechanism subtracts so the least-congested output sees no
+// delay and uniformly congested routers delay nothing (the paper's
+// variance estimate).
+func (r *Router) minTD() int64 {
+	min := int64(-1)
+	for p := 0; p < r.radix; p++ {
+		if r.isTerm[p] {
+			continue
+		}
+		if td := r.crossTd[p] + r.td[p]; min < 0 || td < min {
+			min = td
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// baseCrossTD returns the second-largest smoothed crossing wait over
+// the non-terminal outputs, the congestion baseline of the router. A
+// genuine hot spot is an outlier: one output far above every other.
+// When several outputs are congested together the router is simply
+// busy, the baseline rises with the load, and no output qualifies —
+// the robust form of the paper's variance estimate, which exists
+// precisely so that uniformly loaded routers delay nothing.
+func (r *Router) baseCrossTD() int64 {
+	var max1, max2 int64 = -1, -1
+	for p := 0; p < r.radix; p++ {
+		if r.isTerm[p] {
+			continue
+		}
+		td := r.crossTd[p]
+		switch {
+		case td > max1:
+			max2 = max1
+			max1 = td
+		case td > max2:
+			max2 = td
+		}
+	}
+	if max2 < 0 {
+		return 0
+	}
+	return max2
+}
+
+// ewma folds a new sample into a 1/4-gain exponentially weighted moving
+// average, the smoothing applied to the credit round-trip sensor.
+func ewma(old, sample int64) int64 { return (3*old + sample) / 4 }
+
+// asymEwma filters the crossing-wait sensor with a slow attack and a
+// fast decay: a hot spot must persist (tens of crossings) before it
+// registers, and the estimate collapses as soon as the waits drop. This
+// keeps the short-lived queueing transients of a busy balanced network
+// from triggering credit delays, while a persistently oversubscribed
+// channel — whose waits stay high for as long as the adversarial
+// traffic lasts — registers fully.
+func asymEwma(old, sample int64) int64 {
+	if sample > old {
+		return old + (sample-old+31)/32
+	}
+	return old - (old-sample+31)/32
+}

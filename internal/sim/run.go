@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"fmt"
+
+	"dragonfly/internal/stats"
+)
+
+// RunConfig controls one simulation run: the standard warm-up →
+// tagged-measurement → drain methodology of Section 4.2 (packets injected
+// during the measurement window are labelled, and the simulation runs
+// until every labelled packet has left the system).
+type RunConfig struct {
+	// Load is the offered load in flits/cycle/terminal.
+	Load float64
+	// WarmupCycles runs the network to steady state before measuring.
+	WarmupCycles int
+	// MeasureCycles is the tagged-injection window length.
+	MeasureCycles int
+	// DrainCycles caps the drain phase; if tagged packets remain after
+	// this many extra cycles the run is marked saturated.
+	DrainCycles int
+	// Histogram, when true, collects latency histograms (Figure 12).
+	Histogram bool
+	// HistWidth is the histogram bucket width in cycles (default 2).
+	HistWidth int64
+	// Utilization, when true, collects per-channel flit counts over the
+	// measurement window (Figure 9).
+	Utilization bool
+	// StallLimit aborts the run if no flit moves for this many cycles
+	// while packets are in flight — a deadlock detector. Default 10000.
+	StallLimit int64
+}
+
+// DefaultRunConfig returns measurement parameters suited to the 1K-node
+// evaluation network.
+func DefaultRunConfig(load float64) RunConfig {
+	return RunConfig{
+		Load:          load,
+		WarmupCycles:  3000,
+		MeasureCycles: 2000,
+		DrainCycles:   30000,
+		HistWidth:     2,
+		StallLimit:    10000,
+	}
+}
+
+// Result reports one run's measurements.
+type Result struct {
+	stats.Summary
+	// Hist, MinHist and NonminHist are latency histograms of measured
+	// packets (nil unless RunConfig.Histogram).
+	Hist, MinHist, NonminHist *stats.Histogram
+	// Cycles is the total number of simulated cycles.
+	Cycles int64
+	// DrainTimeout reports that tagged packets were still in flight when
+	// the drain cap was reached — the usual saturation signature.
+	DrainTimeout bool
+}
+
+// Run executes the full warm-up/measure/drain sequence on net and
+// returns the measurements. The network keeps its state afterwards, so
+// successive runs at increasing load on a fresh network per load point
+// are the intended usage.
+func Run(net *Network, rc RunConfig) (Result, error) {
+	if rc.Load < 0 || rc.Load > 1 {
+		return Result{}, fmt.Errorf("sim: load %v out of [0,1]", rc.Load)
+	}
+	if rc.WarmupCycles < 0 || rc.MeasureCycles <= 0 || rc.DrainCycles < 0 {
+		return Result{}, fmt.Errorf("sim: invalid phase lengths (warmup=%d measure=%d drain=%d)",
+			rc.WarmupCycles, rc.MeasureCycles, rc.DrainCycles)
+	}
+	if rc.StallLimit <= 0 {
+		rc.StallLimit = 10000
+	}
+	if rc.HistWidth <= 0 {
+		rc.HistWidth = 2
+	}
+
+	res := Result{}
+	res.Offered = rc.Load
+	if rc.Histogram {
+		res.Hist = stats.NewHistogram(rc.HistWidth)
+		res.MinHist = stats.NewHistogram(rc.HistWidth)
+		res.NonminHist = stats.NewHistogram(rc.HistWidth)
+	}
+	var minCount, totalCount int64
+	net.OnEject = func(p *Packet, now int64) {
+		if !p.Measured {
+			return
+		}
+		lat := float64(now - p.CreateTime)
+		res.Latency.Add(lat)
+		totalCount++
+		if p.Minimal {
+			res.MinLatency.Add(lat)
+			minCount++
+			if res.MinHist != nil {
+				res.MinHist.Add(now - p.CreateTime)
+			}
+		} else {
+			res.NonminLatency.Add(lat)
+			if res.NonminHist != nil {
+				res.NonminHist.Add(now - p.CreateTime)
+			}
+		}
+		if res.Hist != nil {
+			res.Hist.Add(now - p.CreateTime)
+		}
+	}
+	defer func() { net.OnEject = nil }()
+
+	net.SetLoad(rc.Load)
+	stalled := func() bool {
+		return net.inFlight > 0 && net.now-net.lastMove > rc.StallLimit
+	}
+
+	// Warm-up.
+	for i := 0; i < rc.WarmupCycles; i++ {
+		net.Step()
+		if stalled() {
+			return res, fmt.Errorf("sim: no flit moved for %d cycles during warm-up (deadlock?) at cycle %d", rc.StallLimit, net.now)
+		}
+	}
+
+	// Measurement.
+	if rc.Utilization {
+		net.EnableUtilization()
+		net.ResetUtilization()
+	}
+	net.measuring = true
+	net.countWindow = true
+	net.injectedWindow, net.ejectedWindow = 0, 0
+	for i := 0; i < rc.MeasureCycles; i++ {
+		net.Step()
+		if stalled() {
+			return res, fmt.Errorf("sim: no flit moved for %d cycles during measurement (deadlock?) at cycle %d", rc.StallLimit, net.now)
+		}
+	}
+	net.measuring = false
+	net.countWindow = false
+	res.Accepted = float64(net.ejectedWindow) / (float64(net.topo.Terminals()) * float64(rc.MeasureCycles))
+
+	// Drain every tagged packet.
+	for i := 0; net.outstanding > 0; i++ {
+		if i >= rc.DrainCycles {
+			res.DrainTimeout = true
+			break
+		}
+		net.Step()
+		if stalled() {
+			return res, fmt.Errorf("sim: no flit moved for %d cycles during drain (deadlock?) at cycle %d", rc.StallLimit, net.now)
+		}
+	}
+
+	if totalCount > 0 {
+		res.MinimalFraction = float64(minCount) / float64(totalCount)
+	}
+	res.Cycles = net.now
+	res.Saturated = res.DrainTimeout || res.Accepted < rc.Load*0.95
+	return res, nil
+}

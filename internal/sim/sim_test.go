@@ -1,0 +1,466 @@
+package sim_test
+
+import (
+	"testing"
+
+	"dragonfly/internal/routing"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/traffic"
+)
+
+func testDragonfly(t *testing.T) *topology.Dragonfly {
+	t.Helper()
+	d, err := topology.NewDragonfly(2, 4, 2, 0) // N=72, the paper's Figure 5 example
+	if err != nil {
+		t.Fatalf("NewDragonfly: %v", err)
+	}
+	return d
+}
+
+func testConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.VCs = routing.VCs
+	return cfg
+}
+
+func newNet(t *testing.T, d *topology.Dragonfly, cfg sim.Config, rt sim.Routing, tr sim.Traffic) *sim.Network {
+	t.Helper()
+	net, err := sim.New(d, cfg, rt, tr)
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	return net
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []sim.Config{
+		{BufDepth: 0, VCs: 3, LocalLatency: 1, GlobalLatency: 1},
+		{BufDepth: 16, VCs: 0, LocalLatency: 1, GlobalLatency: 1},
+		{BufDepth: 16, VCs: 3, LocalLatency: 0, GlobalLatency: 1},
+		{BufDepth: 16, VCs: 3, LocalLatency: 1, GlobalLatency: 0},
+		{BufDepth: 16, OutDepth: -1, VCs: 3, LocalLatency: 1, GlobalLatency: 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+	if err := sim.DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestRunDeliversEverything(t *testing.T) {
+	d := testDragonfly(t)
+	for _, algName := range []string{"MIN", "VAL", "UGAL-L", "UGAL-G", "UGAL-L_VC", "UGAL-L_VCH", "UGAL-L_CR"} {
+		alg := buildAlg(t, d, algName)
+		cfg := testConfig()
+		cfg.DelayCredits = algName == "UGAL-L_CR"
+		net := newNet(t, d, cfg, alg, traffic.NewUniformRandom(d.Nodes()))
+		res, err := sim.Run(net, sim.RunConfig{
+			Load: 0.2, WarmupCycles: 500, MeasureCycles: 500, DrainCycles: 20000, StallLimit: 5000,
+		})
+		if err != nil {
+			t.Fatalf("%s: Run: %v", algName, err)
+		}
+		if res.DrainTimeout {
+			t.Errorf("%s: drain timed out at low load", algName)
+		}
+		if res.Latency.Count() == 0 {
+			t.Errorf("%s: no measured packets", algName)
+		}
+		if got := res.Accepted; got < 0.18 || got > 0.22 {
+			t.Errorf("%s: accepted %v, want ~0.2", algName, got)
+		}
+		if res.Latency.Mean() < 2 || res.Latency.Mean() > 100 {
+			t.Errorf("%s: mean latency %v out of sane range", algName, res.Latency.Mean())
+		}
+	}
+}
+
+func buildAlg(t *testing.T, d *topology.Dragonfly, name string) sim.Routing {
+	t.Helper()
+	switch name {
+	case "MIN":
+		return routing.NewMIN(d)
+	case "VAL":
+		return routing.NewVAL(d)
+	case "UGAL-L":
+		return routing.NewUGAL(d, routing.UGALLocal)
+	case "UGAL-G":
+		return routing.NewUGAL(d, routing.UGALGlobal)
+	case "UGAL-L_VC":
+		return routing.NewUGAL(d, routing.UGALLocalVC)
+	case "UGAL-L_VCH":
+		return routing.NewUGAL(d, routing.UGALLocalVCH)
+	case "UGAL-L_CR":
+		return routing.NewUGALCR(d)
+	default:
+		t.Fatalf("unknown algorithm %q", name)
+		return nil
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	d := testDragonfly(t)
+	run := func() sim.Result {
+		net := newNet(t, d, testConfig(), routing.NewUGAL(d, routing.UGALLocalVCH), traffic.NewWorstCase(d))
+		res, err := sim.Run(net, sim.RunConfig{Load: 0.25, WarmupCycles: 400, MeasureCycles: 400, DrainCycles: 20000})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Latency.Mean() != b.Latency.Mean() || a.Latency.Count() != b.Latency.Count() {
+		t.Errorf("identical seeds diverged: %v/%d vs %v/%d",
+			a.Latency.Mean(), a.Latency.Count(), b.Latency.Mean(), b.Latency.Count())
+	}
+	if a.Accepted != b.Accepted {
+		t.Errorf("accepted diverged: %v vs %v", a.Accepted, b.Accepted)
+	}
+}
+
+func TestSeedChangesResults(t *testing.T) {
+	d := testDragonfly(t)
+	run := func(seed uint64) sim.Result {
+		cfg := testConfig()
+		cfg.Seed = seed
+		net := newNet(t, d, cfg, routing.NewMIN(d), traffic.NewUniformRandom(d.Nodes()))
+		res, err := sim.Run(net, sim.RunConfig{Load: 0.3, WarmupCycles: 400, MeasureCycles: 400, DrainCycles: 20000})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	if run(1).Latency.Count() == run(2).Latency.Count() && run(1).Latency.Mean() == run(2).Latency.Mean() {
+		t.Error("different seeds produced identical results (suspicious)")
+	}
+}
+
+func TestZeroLoadLatencyMatchesPathLength(t *testing.T) {
+	// At near-zero load every packet should traverse its minimal path
+	// uncontended: up to local+global+local, i.e. at most
+	// 2*LocalLatency + GlobalLatency cycles.
+	d := testDragonfly(t)
+	cfg := testConfig()
+	net := newNet(t, d, cfg, routing.NewMIN(d), traffic.NewUniformRandom(d.Nodes()))
+	maxLat := int64(0)
+	net.OnEject = func(p *sim.Packet, now int64) {
+		if l := now - p.CreateTime; l > maxLat {
+			maxLat = l
+		}
+	}
+	net.SetLoad(0.005)
+	for i := 0; i < 3000; i++ {
+		net.Step()
+	}
+	want := int64(2*cfg.LocalLatency + cfg.GlobalLatency)
+	if maxLat > want+2 { // tiny slack for rare same-cycle collisions
+		t.Errorf("zero-load max latency %d, want <= %d", maxLat, want)
+	}
+	if maxLat == 0 {
+		t.Error("no packets delivered")
+	}
+}
+
+func TestMinimalHopBound(t *testing.T) {
+	// Minimal routing must never exceed 3 router-to-router hops
+	// (Section 4.1); Valiant must never exceed 5.
+	d := testDragonfly(t)
+	for _, tc := range []struct {
+		alg  sim.Routing
+		want int
+	}{
+		{routing.NewMIN(d), 3},
+		{routing.NewVAL(d), 5},
+	} {
+		net := newNet(t, d, testConfig(), tc.alg, traffic.NewUniformRandom(d.Nodes()))
+		worst := 0
+		net.OnEject = func(p *sim.Packet, now int64) {
+			if p.Hops() > worst {
+				worst = p.Hops()
+			}
+		}
+		net.SetLoad(0.3)
+		for i := 0; i < 2000; i++ {
+			net.Step()
+		}
+		if worst > tc.want {
+			t.Errorf("%s: packet took %d hops, want <= %d", tc.alg.Name(), worst, tc.want)
+		}
+	}
+}
+
+func TestPacketConservation(t *testing.T) {
+	// Stop injecting and drain: every packet must leave the network and
+	// every credit must come home.
+	d := testDragonfly(t)
+	net := newNet(t, d, testConfig(), routing.NewUGAL(d, routing.UGALLocalVCH), traffic.NewWorstCase(d))
+	injected := 0
+	ejected := 0
+	net.OnEject = func(p *sim.Packet, now int64) { ejected++ }
+	net.SetLoad(0.4)
+	for i := 0; i < 2000; i++ {
+		net.Step()
+	}
+	injected = ejected + net.InFlight() + net.TotalSourceBacklog()
+	_ = injected
+	net.SetLoad(0)
+	for i := 0; i < 60000 && net.InFlight() > 0; i++ {
+		net.Step()
+	}
+	if net.InFlight() != 0 {
+		t.Fatalf("packets stuck after drain: %d", net.InFlight())
+	}
+	// A few extra cycles to land the last credits.
+	for i := 0; i < 64; i++ {
+		net.Step()
+	}
+	for r := 0; r < d.Routers(); r++ {
+		rt := net.RouterAt(r)
+		for p := 0; p < d.Radix(r); p++ {
+			if rt.IsTerminalPort(p) {
+				continue
+			}
+			for vc := 0; vc < 3; vc++ {
+				if c := rt.Credits(p, vc); c != 16 {
+					t.Fatalf("credit leak: router %d port %d vc %d has %d/16 credits", r, p, vc, c)
+				}
+			}
+			if q := rt.PendingOut(p); q != 0 {
+				t.Fatalf("router %d port %d still has %d pending flits", r, p, q)
+			}
+		}
+	}
+}
+
+func TestDeadlockFreedomUnderStress(t *testing.T) {
+	// Drive every algorithm at overload on the adversarial pattern; the
+	// stall detector inside Run would error on a routing deadlock.
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	d := testDragonfly(t)
+	for _, algName := range []string{"MIN", "VAL", "UGAL-L", "UGAL-G", "UGAL-L_VC", "UGAL-L_VCH", "UGAL-L_CR"} {
+		alg := buildAlg(t, d, algName)
+		cfg := testConfig()
+		cfg.BufDepth = 4 // shallow buffers make deadlock most likely
+		cfg.DelayCredits = algName == "UGAL-L_CR"
+		net := newNet(t, d, cfg, alg, traffic.NewWorstCase(d))
+		net.SetLoad(1.0)
+		last := 0
+		for i := 0; i < 4000; i++ {
+			net.Step()
+			if i%500 == 499 {
+				cur := net.InFlight()
+				_ = cur
+				_ = last
+			}
+		}
+		// Forward progress: ejections must keep happening at full load.
+		count := 0
+		net.OnEject = func(p *sim.Packet, now int64) { count++ }
+		for i := 0; i < 500; i++ {
+			net.Step()
+		}
+		if count == 0 {
+			t.Errorf("%s: no packets delivered during 500 cycles at overload (deadlock?)", algName)
+		}
+	}
+}
+
+func TestWorstCaseMinimalThroughputBound(t *testing.T) {
+	// Figure 8(b): under the WC pattern, minimal routing is limited to
+	// 1/(a*h) of capacity because each group funnels everything through
+	// one global channel.
+	d := testDragonfly(t) // a*h = 8
+	net := newNet(t, d, testConfig(), routing.NewMIN(d), traffic.NewWorstCase(d))
+	res, err := sim.Run(net, sim.RunConfig{Load: 0.5, WarmupCycles: 1500, MeasureCycles: 1000, DrainCycles: 2000})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	bound := 1.0 / float64(d.A*d.H)
+	if res.Accepted > bound*1.15 {
+		t.Errorf("MIN/WC accepted %v, theoretical bound %v", res.Accepted, bound)
+	}
+	if !res.Saturated {
+		t.Error("MIN/WC at load 0.5 should report saturation")
+	}
+}
+
+func TestValiantHalvesCapacity(t *testing.T) {
+	// VAL doubles global-channel load, so UR traffic saturates near 0.5.
+	d := testDragonfly(t)
+	net := newNet(t, d, testConfig(), routing.NewVAL(d), traffic.NewUniformRandom(d.Nodes()))
+	res, err := sim.Run(net, sim.RunConfig{Load: 0.42, WarmupCycles: 1500, MeasureCycles: 1000, DrainCycles: 30000})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Saturated {
+		t.Errorf("VAL/UR saturated at 0.42; should sustain just below 0.5 (accepted %v)", res.Accepted)
+	}
+	net2 := newNet(t, d, testConfig(), routing.NewVAL(d), traffic.NewUniformRandom(d.Nodes()))
+	res2, err := sim.Run(net2, sim.RunConfig{Load: 0.65, WarmupCycles: 1500, MeasureCycles: 1000, DrainCycles: 3000})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res2.Saturated {
+		t.Errorf("VAL/UR at 0.65 should saturate (accepted %v)", res2.Accepted)
+	}
+}
+
+func TestUGALAdaptsOnWorstCase(t *testing.T) {
+	// UGAL variants must beat MIN's 1/(ah) bound on WC traffic by
+	// routing non-minimally.
+	d := testDragonfly(t)
+	for _, algName := range []string{"UGAL-L", "UGAL-G", "UGAL-L_VC", "UGAL-L_VCH", "UGAL-L_CR"} {
+		alg := buildAlg(t, d, algName)
+		cfg := testConfig()
+		cfg.DelayCredits = algName == "UGAL-L_CR"
+		net := newNet(t, d, cfg, alg, traffic.NewWorstCase(d))
+		res, err := sim.Run(net, sim.RunConfig{Load: 0.3, WarmupCycles: 1500, MeasureCycles: 1000, DrainCycles: 30000})
+		if err != nil {
+			t.Fatalf("%s: Run: %v", algName, err)
+		}
+		if res.Accepted < 0.25 {
+			t.Errorf("%s/WC accepted %v at load 0.3, want ~0.3", algName, res.Accepted)
+		}
+		if res.MinimalFraction > 0.5 {
+			t.Errorf("%s/WC routed %.0f%% minimally; adversarial traffic needs mostly non-minimal",
+				algName, res.MinimalFraction*100)
+		}
+	}
+}
+
+func TestUGALPrefersMinimalOnUniform(t *testing.T) {
+	d := testDragonfly(t)
+	for _, algName := range []string{"UGAL-L", "UGAL-G", "UGAL-L_VCH"} {
+		alg := buildAlg(t, d, algName)
+		net := newNet(t, d, testConfig(), alg, traffic.NewUniformRandom(d.Nodes()))
+		res, err := sim.Run(net, sim.RunConfig{Load: 0.3, WarmupCycles: 1000, MeasureCycles: 1000, DrainCycles: 30000})
+		if err != nil {
+			t.Fatalf("%s: Run: %v", algName, err)
+		}
+		if res.MinimalFraction < 0.5 {
+			t.Errorf("%s/UR routed only %.0f%% minimally at light load", algName, res.MinimalFraction*100)
+		}
+	}
+}
+
+func TestChannelUtilizationCounting(t *testing.T) {
+	d := testDragonfly(t)
+	net := newNet(t, d, testConfig(), routing.NewMIN(d), traffic.NewUniformRandom(d.Nodes()))
+	net.EnableUtilization()
+	net.SetLoad(0.3)
+	for i := 0; i < 1000; i++ {
+		net.Step()
+	}
+	total := int64(0)
+	seen := false
+	for r := 0; r < d.Routers(); r++ {
+		for p := 0; p < d.Radix(r); p++ {
+			if b := net.ChannelBusy(r, p); b >= 0 {
+				total += b
+				seen = true
+				if b > 1000 {
+					t.Fatalf("channel (%d,%d) busy %d cycles out of 1000", r, p, b)
+				}
+			}
+		}
+	}
+	if !seen || total == 0 {
+		t.Error("no utilization recorded")
+	}
+	net.ResetUtilization()
+	for r := 0; r < d.Routers(); r++ {
+		for p := 0; p < d.Radix(r); p++ {
+			if b := net.ChannelBusy(r, p); b > 0 {
+				t.Fatal("reset did not clear counters")
+			}
+		}
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	d := testDragonfly(t)
+	net := newNet(t, d, testConfig(), routing.NewMIN(d), traffic.NewUniformRandom(d.Nodes()))
+	if _, err := sim.Run(net, sim.RunConfig{Load: -0.1, MeasureCycles: 10}); err == nil {
+		t.Error("negative load accepted")
+	}
+	if _, err := sim.Run(net, sim.RunConfig{Load: 1.5, MeasureCycles: 10}); err == nil {
+		t.Error("load > 1 accepted")
+	}
+	if _, err := sim.Run(net, sim.RunConfig{Load: 0.1, MeasureCycles: 0}); err == nil {
+		t.Error("zero measure cycles accepted")
+	}
+}
+
+func TestHistogramCollection(t *testing.T) {
+	d := testDragonfly(t)
+	net := newNet(t, d, testConfig(), routing.NewMIN(d), traffic.NewUniformRandom(d.Nodes()))
+	res, err := sim.Run(net, sim.RunConfig{
+		Load: 0.2, WarmupCycles: 300, MeasureCycles: 500, DrainCycles: 20000,
+		Histogram: true, HistWidth: 2,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Hist == nil || res.Hist.Total() == 0 {
+		t.Fatal("histogram empty")
+	}
+	if res.Hist.Total() != res.Latency.Count() {
+		t.Errorf("histogram total %d != latency count %d", res.Hist.Total(), res.Latency.Count())
+	}
+	if res.MinHist.Total()+res.NonminHist.Total() != res.Hist.Total() {
+		t.Error("min + nonmin histograms do not partition the total")
+	}
+}
+
+func TestCreditRTTSensing(t *testing.T) {
+	// Under WC congestion with the delayed-credit mechanism on, the
+	// router owning the overloaded minimal global channel must develop a
+	// large congestion estimate for it while its other outputs stay low.
+	d := testDragonfly(t)
+	cfg := testConfig()
+	cfg.DelayCredits = true
+	net := newNet(t, d, cfg, routing.NewMIN(d), traffic.NewWorstCase(d))
+	net.SetLoad(0.3)
+	for i := 0; i < 2000; i++ {
+		net.Step()
+	}
+	// Group 1's minimal channel to group 2 is slot 0, owned by the first
+	// router of the group.
+	owner := net.RouterAt(d.GroupRouter(1, 0))
+	hot := owner.TD(d.GlobalPort(0))
+	if hot <= 0 {
+		t.Errorf("congested global channel has TD=%d, want > 0", hot)
+	}
+}
+
+func TestTwoGroupDragonflySimulates(t *testing.T) {
+	// Degenerate small configuration: 2 groups, single global channel
+	// pair; everything must still deliver.
+	d, err := topology.NewDragonfly(1, 2, 1, 0)
+	if err != nil {
+		t.Fatalf("NewDragonfly: %v", err)
+	}
+	net := newNet(t, d, testConfig(), routing.NewMIN(d), traffic.NewUniformRandom(d.Nodes()))
+	res, err := sim.Run(net, sim.RunConfig{Load: 0.2, WarmupCycles: 200, MeasureCycles: 400, DrainCycles: 10000})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Latency.Count() == 0 {
+		t.Error("no packets delivered in 2-group dragonfly")
+	}
+}
+
+func TestMixIsDeterministic(t *testing.T) {
+	if sim.Mix(42) != sim.Mix(42) {
+		t.Error("Mix not deterministic")
+	}
+	if sim.Mix(1) == sim.Mix(2) {
+		t.Error("Mix(1) == Mix(2)")
+	}
+}

@@ -1,0 +1,44 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the router-to-router graph in Graphviz DOT format:
+// one node per router, solid edges for local channels, bold edges for
+// global channels. Terminal channels are omitted (they would dominate
+// the picture without adding structure). Intended for small topologies —
+// the 72-node example renders nicely; a 1K-node machine does not.
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	if _, err := fmt.Fprintf(w, "graph %q {\n  layout=neato;\n  node [shape=circle fontsize=10];\n", name); err != nil {
+		return err
+	}
+	for r := 0; r < g.Routers(); r++ {
+		for i := 0; i < g.Radix(r); i++ {
+			p := g.Port(r, i)
+			if p.Class == ClassTerminal || p.PeerRouter < r {
+				continue // each undirected edge once
+			}
+			if p.PeerRouter == r && p.PeerPort < i {
+				continue
+			}
+			style := ""
+			if p.Class == ClassGlobal {
+				style = " [style=bold color=blue]"
+			}
+			if _, err := fmt.Fprintf(w, "  r%d -- r%d%s;\n", r, p.PeerRouter, style); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// Summary describes a graph in one paragraph for inspection tools.
+func (g *Graph) Summary() string {
+	term, local, global := g.CountChannels()
+	return fmt.Sprintf("%d routers, %d terminals; channels: %d terminal, %d local, %d global",
+		g.Routers(), g.Terminals(), term, local, global)
+}

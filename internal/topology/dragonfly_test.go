@@ -1,0 +1,365 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustDragonfly(t *testing.T, p, a, h, g int) *Dragonfly {
+	t.Helper()
+	d, err := NewDragonfly(p, a, h, g)
+	if err != nil {
+		t.Fatalf("NewDragonfly(%d,%d,%d,%d): %v", p, a, h, g, err)
+	}
+	return d
+}
+
+func TestDragonflyPaperExample(t *testing.T) {
+	// Figure 5: p = h = 2, a = 4 scales to N = 72 with k = 7 routers and
+	// an effective radix k' = 16.
+	d := mustDragonfly(t, 2, 4, 2, 0)
+	if got := d.Nodes(); got != 72 {
+		t.Errorf("Nodes() = %d, want 72", got)
+	}
+	if got := d.RouterRadix(); got != 7 {
+		t.Errorf("RouterRadix() = %d, want 7", got)
+	}
+	if got := d.EffectiveRadix(); got != 16 {
+		t.Errorf("EffectiveRadix() = %d, want 16", got)
+	}
+	if got := d.G; got != 9 {
+		t.Errorf("G = %d, want ah+1 = 9", got)
+	}
+	if got := d.Routers(); got != 36 {
+		t.Errorf("Routers() = %d, want 36", got)
+	}
+}
+
+func TestDragonflyEvaluationConfig(t *testing.T) {
+	// Section 4.2: ~1K node network with p = h = 4, a = 8.
+	d := mustDragonfly(t, 4, 8, 4, 0)
+	if got := d.Nodes(); got != 1056 {
+		t.Errorf("Nodes() = %d, want 1056", got)
+	}
+	if got := d.G; got != 33 {
+		t.Errorf("G = %d, want 33", got)
+	}
+	if got := d.RouterRadix(); got != 15 {
+		t.Errorf("RouterRadix() = %d, want 15", got)
+	}
+}
+
+func TestDragonflyParameterValidation(t *testing.T) {
+	cases := []struct{ p, a, h, g int }{
+		{0, 4, 2, 0},
+		{2, 0, 2, 0},
+		{2, 4, 0, 0},
+		{2, 4, 2, 1},
+		{2, 4, 2, 10}, // > ah+1 = 9
+		{1, 3, 1, 3},  // a*h=3, g=3: rem = 1 odd with g odd
+	}
+	for _, c := range cases {
+		if _, err := NewDragonfly(c.p, c.a, c.h, c.g); err == nil {
+			t.Errorf("NewDragonfly(%d,%d,%d,%d) succeeded, want error", c.p, c.a, c.h, c.g)
+		}
+	}
+}
+
+func TestDragonflyGraphInvariants(t *testing.T) {
+	configs := []struct{ p, a, h, g int }{
+		{2, 4, 2, 0}, {2, 4, 2, 9}, {2, 4, 2, 5}, {2, 4, 2, 3}, {2, 4, 2, 2},
+		{4, 8, 4, 0}, {4, 8, 4, 17}, {4, 8, 4, 33},
+		{1, 1, 1, 2}, {1, 2, 1, 0}, {3, 6, 3, 0},
+		{2, 4, 2, 8}, // non-maximal with remainder: ah=8, g=8, rem=1 even g
+	}
+	for _, c := range configs {
+		d := mustDragonfly(t, c.p, c.a, c.h, c.g)
+		if err := d.Validate(); err != nil {
+			t.Errorf("%v: Validate: %v", d, err)
+			continue
+		}
+		term, local, global := d.CountChannels()
+		if term != d.Nodes() {
+			t.Errorf("%v: terminal channels = %d, want %d", d, term, d.Nodes())
+		}
+		wantLocal := d.G * d.A * (d.A - 1) / 2
+		if local != wantLocal {
+			t.Errorf("%v: local channels = %d, want %d", d, local, wantLocal)
+		}
+		wantGlobal := d.G * d.A * d.H / 2
+		if global != wantGlobal {
+			t.Errorf("%v: global channels = %d, want %d", d, global, wantGlobal)
+		}
+	}
+}
+
+func TestDragonflyDiameterIsThree(t *testing.T) {
+	d := mustDragonfly(t, 2, 4, 2, 0)
+	diam, err := d.Diameter()
+	if err != nil {
+		t.Fatalf("Diameter: %v", err)
+	}
+	if diam != 3 {
+		t.Errorf("diameter = %d, want 3 (local+global+local)", diam)
+	}
+}
+
+func TestDragonflyChannelsBetweenSymmetric(t *testing.T) {
+	for _, g := range []int{2, 3, 5, 8, 9} {
+		d := mustDragonfly(t, 2, 4, 2, g)
+		for ga := 0; ga < d.G; ga++ {
+			total := 0
+			for gb := 0; gb < d.G; gb++ {
+				ab := d.ChannelsBetween(ga, gb)
+				ba := d.ChannelsBetween(gb, ga)
+				if ab != ba {
+					t.Fatalf("g=%d: ChannelsBetween(%d,%d)=%d != ChannelsBetween(%d,%d)=%d", g, ga, gb, ab, gb, ga, ba)
+				}
+				if ga != gb && ab == 0 {
+					t.Fatalf("g=%d: groups %d and %d not connected", g, ga, gb)
+				}
+				total += ab
+			}
+			if total != d.A*d.H {
+				t.Fatalf("g=%d: group %d has %d global channels, want %d", g, ga, total, d.A*d.H)
+			}
+		}
+	}
+}
+
+func TestDragonflyMaximalHasOneChannelPerPair(t *testing.T) {
+	d := mustDragonfly(t, 4, 8, 4, 0)
+	for ga := 0; ga < d.G; ga++ {
+		for gb := 0; gb < d.G; gb++ {
+			if ga == gb {
+				continue
+			}
+			if n := d.ChannelsBetween(ga, gb); n != 1 {
+				t.Fatalf("maximal dragonfly: %d channels between %d and %d, want 1", n, ga, gb)
+			}
+		}
+	}
+}
+
+func TestDragonflyGlobalSlotRoundTrip(t *testing.T) {
+	for _, g := range []int{0, 5, 8} {
+		d := mustDragonfly(t, 2, 4, 2, g)
+		for grp := 0; grp < d.G; grp++ {
+			for dst := 0; dst < d.G; dst++ {
+				if grp == dst {
+					if d.GlobalSlot(grp, dst, 0) != -1 {
+						t.Fatalf("GlobalSlot(%d,%d,0) != -1", grp, dst)
+					}
+					continue
+				}
+				n := d.ChannelsBetween(grp, dst)
+				for m := 0; m < n; m++ {
+					c := d.GlobalSlot(grp, dst, m)
+					if c < 0 || c >= d.A*d.H {
+						t.Fatalf("GlobalSlot(%d,%d,%d) = %d out of range", grp, dst, m, c)
+					}
+					if got := d.SlotTarget(grp, c); got != dst {
+						t.Fatalf("SlotTarget(%d,%d) = %d, want %d", grp, c, got, dst)
+					}
+					entry := d.GlobalEntryRouter(grp, dst, c)
+					if entry < 0 || d.RouterGroup(entry) != dst {
+						t.Fatalf("GlobalEntryRouter(%d,%d,%d) = %d not in group %d", grp, dst, c, entry, dst)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDragonflyGlobalWiringMatchesGraph(t *testing.T) {
+	// The helper functions (SlotTarget, GlobalPort, GlobalEntryRouter)
+	// must agree with the actual graph wiring.
+	for _, cfg := range []struct{ p, a, h, g int }{{2, 4, 2, 0}, {2, 4, 2, 5}, {4, 8, 4, 0}, {2, 4, 2, 8}} {
+		d := mustDragonfly(t, cfg.p, cfg.a, cfg.h, cfg.g)
+		for grp := 0; grp < d.G; grp++ {
+			for c := 0; c < d.A*d.H; c++ {
+				r := d.GroupRouter(grp, d.SlotRouterIndex(c))
+				port := d.GlobalPort(c)
+				pt := d.Port(r, port)
+				if pt.Class != ClassGlobal {
+					t.Fatalf("%v: router %d port %d class = %v", d, r, port, pt.Class)
+				}
+				dst := d.SlotTarget(grp, c)
+				if got := d.RouterGroup(pt.PeerRouter); got != dst {
+					t.Fatalf("%v: slot %d of group %d reaches group %d, want %d", d, c, grp, got, dst)
+				}
+				if want := d.GlobalEntryRouter(grp, dst, c); pt.PeerRouter != want {
+					t.Fatalf("%v: slot %d of group %d lands on router %d, want %d", d, c, grp, pt.PeerRouter, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDragonflyLocalPortLayout(t *testing.T) {
+	d := mustDragonfly(t, 2, 4, 2, 0)
+	for grp := 0; grp < d.G; grp++ {
+		for i := 0; i < d.A; i++ {
+			r := d.GroupRouter(grp, i)
+			for j := 0; j < d.A; j++ {
+				if i == j {
+					continue
+				}
+				port := d.LocalPort(i, j)
+				pt := d.Port(r, port)
+				if pt.Class != ClassLocal {
+					t.Fatalf("router %d port %d: class %v, want local", r, port, pt.Class)
+				}
+				if want := d.GroupRouter(grp, j); pt.PeerRouter != want {
+					t.Fatalf("router %d local port to %d reaches %d, want %d", r, j, pt.PeerRouter, want)
+				}
+				// Reverse port must point back.
+				back := d.Port(pt.PeerRouter, pt.PeerPort)
+				if back.PeerRouter != r || back.PeerPort != port {
+					t.Fatalf("asymmetric local link %d:%d <-> %d:%d", r, port, pt.PeerRouter, pt.PeerPort)
+				}
+			}
+		}
+	}
+}
+
+func TestDragonflyPortClassMatchesGraph(t *testing.T) {
+	d := mustDragonfly(t, 4, 8, 4, 17)
+	for r := 0; r < d.Routers(); r++ {
+		for i := 0; i < d.Radix(r); i++ {
+			if got, want := d.PortClass(i), d.Port(r, i).Class; got != want {
+				t.Fatalf("router %d port %d: PortClass=%v graph=%v", r, i, got, want)
+			}
+		}
+	}
+}
+
+func TestDragonflyMinimalHops(t *testing.T) {
+	d := mustDragonfly(t, 2, 4, 2, 0)
+	// Same router.
+	if got := d.MinimalHops(0, 0, 0); got != 0 {
+		t.Errorf("same-router hops = %d, want 0", got)
+	}
+	// Same group, different router.
+	if got := d.MinimalHops(0, 3, 0); got != 1 {
+		t.Errorf("same-group hops = %d, want 1", got)
+	}
+	// Cross-group hop counts must be within [1,3] and equal 1 + number of
+	// required local hops.
+	for src := 0; src < d.Routers(); src++ {
+		for dst := 0; dst < d.Routers(); dst++ {
+			gs, gd := d.RouterGroup(src), d.RouterGroup(dst)
+			if gs == gd {
+				continue
+			}
+			slot := d.GlobalSlot(gs, gd, 0)
+			hops := d.MinimalHops(src, dst, slot)
+			if hops < 1 || hops > 3 {
+				t.Fatalf("MinimalHops(%d,%d,%d) = %d, want within [1,3]", src, dst, slot, hops)
+			}
+		}
+	}
+}
+
+func TestBalancedDragonfly(t *testing.T) {
+	d, err := NewBalancedDragonfly(2, 0)
+	if err != nil {
+		t.Fatalf("NewBalancedDragonfly: %v", err)
+	}
+	if d.A != 2*d.P || d.A != 2*d.H {
+		t.Errorf("not balanced: p=%d a=%d h=%d", d.P, d.A, d.H)
+	}
+	if got := d.Nodes(); got != 72 {
+		t.Errorf("balanced h=2 Nodes() = %d, want 72", got)
+	}
+}
+
+func TestDragonflyPropertySlotPairing(t *testing.T) {
+	// Property: for every realizable random configuration, following a
+	// global slot and then its reverse slot returns to the origin.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 1 + rng.Intn(6)
+		h := 1 + rng.Intn(4)
+		maxG := a*h + 1
+		g := 2 + rng.Intn(maxG-1)
+		rem := (a * h) % (g - 1)
+		if rem%2 == 1 && g%2 == 1 {
+			return true // unrealizable configuration, skipped
+		}
+		d, err := NewDragonfly(1+rng.Intn(3), a, h, g)
+		if err != nil {
+			return false
+		}
+		for grp := 0; grp < d.G; grp++ {
+			for c := 0; c < d.A*d.H; c++ {
+				dst, back := d.peerSlot(grp, c)
+				if dst == grp {
+					return false
+				}
+				g2, c2 := d.peerSlot(dst, back)
+				if g2 != grp || c2 != c {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDragonflyPropertyChannelBalance(t *testing.T) {
+	// Property: channel counts between pairs differ by at most one from
+	// the base+1, and every group uses all its slots exactly once.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 1 + rng.Intn(5)
+		h := 1 + rng.Intn(4)
+		g := 2 + rng.Intn(a*h)
+		if (a*h)%(g-1)%2 == 1 && g%2 == 1 {
+			return true
+		}
+		d, err := NewDragonfly(1, a, h, g)
+		if err != nil {
+			return false
+		}
+		base := (a * h) / (g - 1)
+		for ga := 0; ga < g; ga++ {
+			sum := 0
+			for gb := 0; gb < g; gb++ {
+				n := d.ChannelsBetween(ga, gb)
+				if ga == gb {
+					if n != 0 {
+						return false
+					}
+					continue
+				}
+				if n < base || n > base+2 {
+					return false
+				}
+				sum += n
+			}
+			if sum != a*h {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlotOfPortInvertsGlobalPort(t *testing.T) {
+	d := mustDragonfly(t, 4, 8, 4, 0)
+	for c := 0; c < d.A*d.H; c++ {
+		idx := d.SlotRouterIndex(c)
+		port := d.GlobalPort(c)
+		if got := d.SlotOfPort(idx, port); got != c {
+			t.Fatalf("SlotOfPort(%d, %d) = %d, want %d", idx, port, got, c)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package topology
+
+import "fmt"
+
+// FlattenedButterfly is the k-ary n-flat of Kim, Dally and Abts (ISCA
+// 2007), the topology the dragonfly extends and is benchmarked against in
+// Section 5. Routers sit at the points of an n-dimensional grid with Size
+// routers per dimension and are fully connected along every dimension;
+// each router concentrates Conc terminals.
+//
+// Dimension 0 channels are classed local (they stay inside a cabinet in
+// the paper's packaging, Figure 18) and higher-dimension channels are
+// classed global. The same type doubles as the intra-group network of the
+// dragonfly variant in Figure 6(b), where a group is itself a small
+// flattened butterfly.
+type FlattenedButterfly struct {
+	*Graph
+
+	// Conc is the concentration: terminals per router.
+	Conc int
+	// Dims holds the router count per dimension (the paper uses equal
+	// dimensions, but the constructor accepts any shape).
+	Dims []int
+}
+
+// NewFlattenedButterfly builds a flattened butterfly with the given
+// concentration and dimension sizes.
+func NewFlattenedButterfly(conc int, dims ...int) (*FlattenedButterfly, error) {
+	if conc < 1 {
+		return nil, fmt.Errorf("topology: flattened butterfly concentration must be positive (got %d)", conc)
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("topology: flattened butterfly needs at least one dimension")
+	}
+	routers := 1
+	for i, s := range dims {
+		if s < 2 {
+			return nil, fmt.Errorf("topology: flattened butterfly dimension %d must have size >= 2 (got %d)", i, s)
+		}
+		routers *= s
+	}
+	f := &FlattenedButterfly{Conc: conc, Dims: append([]int(nil), dims...)}
+	g := NewGraph(routers, conc*routers)
+	for r := 0; r < routers; r++ {
+		for t := 0; t < conc; t++ {
+			g.AddTerminal(r*conc+t, r)
+		}
+	}
+	// Fully connect along each dimension, lowest dimension first. The
+	// canonical layout (conc terminal ports, then size-1 ports per
+	// dimension in increasing dimension order) is fully determined, so
+	// the port table is written directly, like the dragonfly's.
+	for r := 0; r < routers; r++ {
+		coord := f.Coord(r)
+		ports := g.ports[r]
+		for dim := range dims {
+			own := coord[dim]
+			for v := 0; v < dims[dim]; v++ {
+				if v == own {
+					continue
+				}
+				peer := f.withCoord(coord, dim, v)
+				class := ClassGlobal
+				if dim == 0 {
+					class = ClassLocal
+				}
+				ports = append(ports, Port{
+					Class:      class,
+					PeerRouter: peer,
+					PeerPort:   f.dimPort(dim, own, v),
+					Terminal:   -1,
+				})
+			}
+		}
+		g.ports[r] = ports
+	}
+	f.Graph = g
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("topology: flattened butterfly construction bug: %w", err)
+	}
+	return f, nil
+}
+
+// dimPort returns the port index on the router at coordinate `to` of
+// dimension dim for the channel back to the router at coordinate `from`,
+// given the canonical layout.
+func (f *FlattenedButterfly) dimPort(dim, from, to int) int {
+	base := f.Conc
+	for d := 0; d < dim; d++ {
+		base += f.Dims[d] - 1
+	}
+	if from < to {
+		return base + from
+	}
+	return base + from - 1
+}
+
+// Coord returns the per-dimension coordinates of router r (dimension 0
+// varies fastest).
+func (f *FlattenedButterfly) Coord(r int) []int {
+	c := make([]int, len(f.Dims))
+	for i, s := range f.Dims {
+		c[i] = r % s
+		r /= s
+	}
+	return c
+}
+
+// withCoord returns the router id obtained by replacing coordinate dim of
+// coord with v.
+func (f *FlattenedButterfly) withCoord(coord []int, dim, v int) int {
+	r := 0
+	stride := 1
+	for i, s := range f.Dims {
+		x := coord[i]
+		if i == dim {
+			x = v
+		}
+		r += x * stride
+		stride *= s
+	}
+	return r
+}
+
+// RouterRadix returns the radix of each router: concentration plus
+// (size-1) ports per dimension.
+func (f *FlattenedButterfly) RouterRadix() int {
+	k := f.Conc
+	for _, s := range f.Dims {
+		k += s - 1
+	}
+	return k
+}
+
+// Nodes returns the number of terminals.
+func (f *FlattenedButterfly) Nodes() int { return f.Graph.Terminals() }
+
+// String describes the configuration.
+func (f *FlattenedButterfly) String() string {
+	return fmt.Sprintf("flattened-butterfly(c=%d dims=%v N=%d k=%d)", f.Conc, f.Dims, f.Nodes(), f.RouterRadix())
+}

@@ -1,0 +1,247 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFlattenedButterflyBasic(t *testing.T) {
+	// 1-D flattened butterfly of 4 routers with concentration 2: a fully
+	// connected quad, 8 terminals, radix 5.
+	f, err := NewFlattenedButterfly(2, 4)
+	if err != nil {
+		t.Fatalf("NewFlattenedButterfly: %v", err)
+	}
+	if got := f.Nodes(); got != 8 {
+		t.Errorf("Nodes() = %d, want 8", got)
+	}
+	if got := f.RouterRadix(); got != 5 {
+		t.Errorf("RouterRadix() = %d, want 5", got)
+	}
+	term, local, global := f.CountChannels()
+	if term != 8 || local != 6 || global != 0 {
+		t.Errorf("CountChannels() = (%d,%d,%d), want (8,6,0)", term, local, global)
+	}
+	diam, err := f.Diameter()
+	if err != nil {
+		t.Fatalf("Diameter: %v", err)
+	}
+	if diam != 1 {
+		t.Errorf("diameter = %d, want 1", diam)
+	}
+}
+
+func TestFlattenedButterflyFigure6b(t *testing.T) {
+	// Figure 6(b): a 3-D flattened butterfly with p = 2 and dimension
+	// size 2 is a 3-cube of routers; used as a dragonfly group it raises
+	// the group radix from k' = 16 to k' = 32 using the same k = 7 router.
+	f, err := NewFlattenedButterfly(2, 2, 2, 2)
+	if err != nil {
+		t.Fatalf("NewFlattenedButterfly: %v", err)
+	}
+	if got := f.Routers(); got != 8 {
+		t.Errorf("Routers() = %d, want 8", got)
+	}
+	if got := f.RouterRadix(); got != 5 {
+		t.Errorf("RouterRadix() = %d, want 5 (2 terminals + 3 dims)", got)
+	}
+	diam, err := f.Diameter()
+	if err != nil {
+		t.Fatalf("Diameter: %v", err)
+	}
+	if diam != 3 {
+		t.Errorf("diameter = %d, want 3 (one hop per dimension)", diam)
+	}
+	// Group radix if this were a dragonfly group with h = 2 per router:
+	// a(p+h) = 8 * 4 = 32, as the paper states.
+	if got := f.Routers() * (f.Conc + 2); got != 32 {
+		t.Errorf("virtual radix = %d, want 32", got)
+	}
+}
+
+func TestFlattenedButterflyValidation(t *testing.T) {
+	if _, err := NewFlattenedButterfly(0, 4); err == nil {
+		t.Error("concentration 0 accepted")
+	}
+	if _, err := NewFlattenedButterfly(2); err == nil {
+		t.Error("no dimensions accepted")
+	}
+	if _, err := NewFlattenedButterfly(2, 1); err == nil {
+		t.Error("dimension size 1 accepted")
+	}
+}
+
+func TestFlattenedButterflyProperty(t *testing.T) {
+	// Property: any generated flattened butterfly validates, has the
+	// analytic channel count, and diameter == number of dimensions.
+	f := func(c, d1, d2 uint8) bool {
+		conc := 1 + int(c%3)
+		s1 := 2 + int(d1%3)
+		s2 := 2 + int(d2%3)
+		fb, err := NewFlattenedButterfly(conc, s1, s2)
+		if err != nil {
+			return false
+		}
+		if fb.Validate() != nil {
+			return false
+		}
+		routers := s1 * s2
+		_, local, global := fb.CountChannels()
+		wantLocal := routers * (s1 - 1) / 2
+		wantGlobal := routers * (s2 - 1) / 2
+		if local != wantLocal || global != wantGlobal {
+			return false
+		}
+		diam, err := fb.Diameter()
+		return err == nil && diam == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlattenedButterflyCoordRoundTrip(t *testing.T) {
+	f, err := NewFlattenedButterfly(1, 3, 4, 2)
+	if err != nil {
+		t.Fatalf("NewFlattenedButterfly: %v", err)
+	}
+	for r := 0; r < f.Routers(); r++ {
+		coord := f.Coord(r)
+		if got := f.withCoord(coord, 0, coord[0]); got != r {
+			t.Fatalf("coord round trip failed for router %d: %v -> %d", r, coord, got)
+		}
+	}
+}
+
+func TestFoldedClosSizing(t *testing.T) {
+	cases := []struct {
+		n, k       int
+		wantLevels int
+	}{
+		{64, 64, 1},
+		{1024, 64, 2},
+		{2048, 64, 2},
+		{2049, 64, 3},
+		{65536, 64, 3},
+	}
+	for _, c := range cases {
+		fc, err := NewFoldedClos(c.n, c.k)
+		if err != nil {
+			t.Fatalf("NewFoldedClos(%d,%d): %v", c.n, c.k, err)
+		}
+		if fc.Levels != c.wantLevels {
+			t.Errorf("NewFoldedClos(%d,%d).Levels = %d, want %d", c.n, c.k, fc.Levels, c.wantLevels)
+		}
+		if fc.MaxNodes() < c.n {
+			t.Errorf("NewFoldedClos(%d,%d).MaxNodes() = %d < %d", c.n, c.k, fc.MaxNodes(), c.n)
+		}
+		if fc.Channels() != c.n*(c.wantLevels-1) {
+			t.Errorf("Channels() = %d, want %d", fc.Channels(), c.n*(c.wantLevels-1))
+		}
+	}
+	if _, err := NewFoldedClos(100, 3); err == nil {
+		t.Error("odd radix accepted")
+	}
+	if _, err := NewFoldedClos(0, 64); err == nil {
+		t.Error("zero terminals accepted")
+	}
+}
+
+func TestTorus3DSizing(t *testing.T) {
+	tor, err := NewTorus3D(4096)
+	if err != nil {
+		t.Fatalf("NewTorus3D: %v", err)
+	}
+	if tor.Nodes() < 4096 {
+		t.Errorf("Nodes() = %d, want >= 4096", tor.Nodes())
+	}
+	if tor.Channels() != 3*tor.Nodes() {
+		t.Errorf("Channels() = %d, want %d", tor.Channels(), 3*tor.Nodes())
+	}
+	if tor.Diameter() <= 0 {
+		t.Errorf("Diameter() = %d, want positive", tor.Diameter())
+	}
+	if avg := tor.AverageHops(); avg <= 0 || avg > float64(tor.Diameter()) {
+		t.Errorf("AverageHops() = %v out of range (diameter %d)", avg, tor.Diameter())
+	}
+	if _, err := NewTorus3D(1); err == nil {
+		t.Error("tiny torus accepted")
+	}
+}
+
+func TestAnalyticsFigure1(t *testing.T) {
+	// Figure 1: the radix needed for a one-global-hop flat network grows
+	// as ~2*sqrt(N); for N = 1M it exceeds 1000.
+	if k := FlatNetworkRadix(1000000); k < 1000 || k > 2100 {
+		t.Errorf("FlatNetworkRadix(1e6) = %d, want ~2000", k)
+	}
+	// Round trip: radix for max nodes of k must not exceed k.
+	for k := 4; k <= 256; k *= 2 {
+		n := FlatNetworkMaxNodes(k)
+		if got := FlatNetworkRadix(n); got > k {
+			t.Errorf("FlatNetworkRadix(FlatNetworkMaxNodes(%d)) = %d > %d", k, got, k)
+		}
+	}
+}
+
+func TestAnalyticsFigure4(t *testing.T) {
+	// Figure 4 / Section 3.1: with radix-64 routers, the balanced
+	// dragonfly scales beyond 256K nodes with diameter three.
+	if n := BalancedMaxNodes(64); n < 256*1024 {
+		t.Errorf("BalancedMaxNodes(64) = %d, want > 256K", n)
+	}
+	// The paper's example: k = 7 gives h = 2, a = 4, p = 2, N = 72.
+	p, a, h := BalancedParams(7)
+	if p != 2 || a != 4 || h != 2 {
+		t.Errorf("BalancedParams(7) = (%d,%d,%d), want (2,4,2)", p, a, h)
+	}
+	if n := BalancedMaxNodes(7); n != 72 {
+		t.Errorf("BalancedMaxNodes(7) = %d, want 72", n)
+	}
+	// Monotone in k.
+	prev := 0
+	for k := 3; k <= 128; k++ {
+		n := BalancedMaxNodes(k)
+		if n < prev {
+			t.Errorf("BalancedMaxNodes not monotone at k=%d: %d < %d", k, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestBalancedRadixForNodes(t *testing.T) {
+	for _, n := range []int{100, 1000, 10000, 100000} {
+		k := BalancedRadixForNodes(n)
+		if BalancedMaxNodes(k) < n {
+			t.Errorf("BalancedRadixForNodes(%d) = %d too small", n, k)
+		}
+		if k > 3 && BalancedMaxNodes(k-1) >= n {
+			t.Errorf("BalancedRadixForNodes(%d) = %d not minimal", n, k)
+		}
+	}
+}
+
+func TestGraphValidateCatchesCorruption(t *testing.T) {
+	g := NewGraph(2, 2)
+	g.AddTerminal(0, 0)
+	g.AddTerminal(1, 1)
+	g.AddLink(0, 1, ClassLocal)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+	// Corrupt the peer pointer.
+	g.ports[0][1].PeerPort = 7
+	if err := g.Validate(); err == nil {
+		t.Error("corrupted graph accepted")
+	}
+}
+
+func TestGraphDiameterDisconnected(t *testing.T) {
+	g := NewGraph(2, 0)
+	if _, err := g.Diameter(); err == nil {
+		t.Error("disconnected graph diameter computed without error")
+	}
+	if _, err := g.AverageHops(); err == nil {
+		t.Error("disconnected graph average hops computed without error")
+	}
+}

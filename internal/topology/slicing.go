@@ -1,0 +1,107 @@
+package topology
+
+import "fmt"
+
+// Section 3.2 describes two capacity knobs beyond the base topology:
+// channel slicing — running S parallel copies of the network instead of
+// widening channels (which would cost radix) — and bandwidth tapering —
+// removing inter-group channels where uniform global bandwidth is not
+// needed. Both are planning-level transforms: they change channel
+// inventories and cost, not the routing problem, so they are modelled as
+// descriptors over a base dragonfly configuration.
+
+// SlicedDragonfly describes S parallel dragonfly networks serving the
+// same terminals. Each terminal attaches to every slice; injection
+// bandwidth and bisection scale by Slices while router radix stays k.
+type SlicedDragonfly struct {
+	// Base is the per-slice configuration.
+	Base *Dragonfly
+	// Slices is the number of parallel networks (>= 1).
+	Slices int
+}
+
+// NewSlicedDragonfly wraps a dragonfly in S parallel slices.
+func NewSlicedDragonfly(base *Dragonfly, slices int) (*SlicedDragonfly, error) {
+	if base == nil {
+		return nil, fmt.Errorf("topology: sliced dragonfly needs a base network")
+	}
+	if slices < 1 {
+		return nil, fmt.Errorf("topology: slice count must be >= 1 (got %d)", slices)
+	}
+	return &SlicedDragonfly{Base: base, Slices: slices}, nil
+}
+
+// Nodes returns the terminal count (shared by all slices).
+func (s *SlicedDragonfly) Nodes() int { return s.Base.Nodes() }
+
+// Routers returns the total router count across slices.
+func (s *SlicedDragonfly) Routers() int { return s.Slices * s.Base.Routers() }
+
+// InjectionBandwidth returns the per-terminal injection channels.
+func (s *SlicedDragonfly) InjectionBandwidth() int { return s.Slices }
+
+// CountChannels returns the channel inventory across all slices
+// (terminal channels count once per slice: each terminal attaches to
+// every slice).
+func (s *SlicedDragonfly) CountChannels() (terminal, local, global int) {
+	t, l, g := s.Base.CountChannels()
+	return s.Slices * t, s.Slices * l, s.Slices * g
+}
+
+// String describes the configuration.
+func (s *SlicedDragonfly) String() string {
+	return fmt.Sprintf("sliced(%dx %v)", s.Slices, s.Base)
+}
+
+// TaperedDragonfly describes a dragonfly whose inter-group bandwidth has
+// been tapered: only a fraction of the maximal global channels are
+// installed. Tapering reduces cost when uniform global bandwidth is not
+// needed, at the price of lower worst-case throughput.
+type TaperedDragonfly struct {
+	// Base is the untapered configuration.
+	Base *Dragonfly
+	// Fraction in (0, 1] of the base global channels retained.
+	Fraction float64
+}
+
+// NewTaperedDragonfly tapers a dragonfly's global channels to the given
+// fraction. Every pair of groups must keep at least one channel, so the
+// fraction is bounded below by what the group count requires.
+func NewTaperedDragonfly(base *Dragonfly, fraction float64) (*TaperedDragonfly, error) {
+	if base == nil {
+		return nil, fmt.Errorf("topology: tapered dragonfly needs a base network")
+	}
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("topology: taper fraction %v out of (0, 1]", fraction)
+	}
+	// Keeping every group pair connected needs at least (g-1)/2 channels
+	// per group (each channel serves one pair end).
+	_, _, global := base.CountChannels()
+	kept := int(float64(global) * fraction)
+	needed := base.G * (base.G - 1) / 2
+	if kept < needed {
+		return nil, fmt.Errorf("topology: taper fraction %v keeps %d global channels, but %d groups need at least %d to stay fully connected",
+			fraction, kept, base.G, needed)
+	}
+	return &TaperedDragonfly{Base: base, Fraction: fraction}, nil
+}
+
+// GlobalChannels returns the tapered global channel count.
+func (t *TaperedDragonfly) GlobalChannels() int {
+	_, _, global := t.Base.CountChannels()
+	return int(float64(global) * t.Fraction)
+}
+
+// WorstCaseThroughputBound returns the upper bound on per-terminal
+// worst-case throughput after tapering: global bisection shrinks by the
+// taper fraction.
+func (t *TaperedDragonfly) WorstCaseThroughputBound() float64 {
+	// Balanced untapered dragonfly sustains ~0.5 of injection bandwidth
+	// on adversarial traffic with non-minimal routing (Section 4.2).
+	return 0.5 * t.Fraction * float64(2*t.Base.H) / float64(t.Base.P) / 2
+}
+
+// String describes the configuration.
+func (t *TaperedDragonfly) String() string {
+	return fmt.Sprintf("tapered(%.0f%% of %v)", 100*t.Fraction, t.Base)
+}

@@ -1,0 +1,73 @@
+package topology
+
+import "testing"
+
+func TestSlicedDragonfly(t *testing.T) {
+	base := mustDragonfly(t, 2, 4, 2, 0)
+	s, err := NewSlicedDragonfly(base, 3)
+	if err != nil {
+		t.Fatalf("NewSlicedDragonfly: %v", err)
+	}
+	if s.Nodes() != base.Nodes() {
+		t.Errorf("Nodes = %d, want %d (terminals are shared)", s.Nodes(), base.Nodes())
+	}
+	if s.Routers() != 3*base.Routers() {
+		t.Errorf("Routers = %d, want %d", s.Routers(), 3*base.Routers())
+	}
+	if s.InjectionBandwidth() != 3 {
+		t.Errorf("InjectionBandwidth = %d, want 3", s.InjectionBandwidth())
+	}
+	bt, bl, bg := base.CountChannels()
+	st, sl, sg := s.CountChannels()
+	if st != 3*bt || sl != 3*bl || sg != 3*bg {
+		t.Error("channel inventory must scale by the slice count")
+	}
+	if _, err := NewSlicedDragonfly(nil, 2); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := NewSlicedDragonfly(base, 0); err == nil {
+		t.Error("zero slices accepted")
+	}
+}
+
+func TestTaperedDragonfly(t *testing.T) {
+	base := mustDragonfly(t, 2, 4, 2, 0) // 9 groups, 36 global channels
+	tp, err := NewTaperedDragonfly(base, 1.0)
+	if err != nil {
+		t.Fatalf("NewTaperedDragonfly: %v", err)
+	}
+	_, _, global := base.CountChannels()
+	if tp.GlobalChannels() != global {
+		t.Errorf("untapered GlobalChannels = %d, want %d", tp.GlobalChannels(), global)
+	}
+	// All pairs must stay connected: 9 groups need 36 channels; any
+	// fraction below 1 drops under the floor for this small config.
+	if _, err := NewTaperedDragonfly(base, 0.5); err == nil {
+		t.Error("taper below the connectivity floor accepted")
+	}
+	if _, err := NewTaperedDragonfly(base, 0); err == nil {
+		t.Error("zero fraction accepted")
+	}
+	if _, err := NewTaperedDragonfly(nil, 0.5); err == nil {
+		t.Error("nil base accepted")
+	}
+
+	// A larger configuration leaves real tapering room: p=h=4, a=8 has
+	// 33 groups, 528 pair-channels minimum vs 4224... per group pair the
+	// maximal config has 8x redundancy at g=17.
+	big := mustDragonfly(t, 4, 8, 4, 17)
+	tp2, err := NewTaperedDragonfly(big, 0.5)
+	if err != nil {
+		t.Fatalf("NewTaperedDragonfly(big, 0.5): %v", err)
+	}
+	if b := tp2.WorstCaseThroughputBound(); b <= 0 || b > 0.5 {
+		t.Errorf("worst-case bound %v out of range", b)
+	}
+	full, err := NewTaperedDragonfly(big, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp2.WorstCaseThroughputBound() >= full.WorstCaseThroughputBound() {
+		t.Error("tapering must lower the worst-case throughput bound")
+	}
+}
