@@ -5,13 +5,19 @@
 //
 //	dfly-experiments                 # everything, paper scale
 //	dfly-experiments -quick fig8     # one experiment, reduced scale
+//	dfly-experiments -jobs 8 fig16   # fan the sweeps over 8 workers
 //	dfly-experiments -list           # show experiment names
+//
+// Independent simulations (load points, series, whole exhibits) run
+// concurrently on -jobs workers (default: GOMAXPROCS). The rendered
+// report is byte-identical for every -jobs value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"dragonfly/internal/experiments"
@@ -21,6 +27,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced scale: small network, short phases")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
+	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -32,12 +39,19 @@ func main() {
 	if *quick {
 		scale = experiments.Quick()
 	}
-	r := experiments.Runner{Scale: scale}
+	r := experiments.Runner{Scale: scale, Jobs: *jobs}
 	if !*quiet {
 		r.Log = os.Stderr
 	}
 
 	names := flag.Args()
+	if len(names) > 0 && !*quiet {
+		workers := *jobs
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		fmt.Fprintf(os.Stderr, "running %d experiments on %d workers\n", len(names), workers)
+	}
 	if len(names) == 0 {
 		if err := r.RunAll(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "dfly-experiments:", err)

@@ -1,18 +1,23 @@
 // dfly-sim runs a single dragonfly simulation and prints its
 // measurements: latency (average and split by routing decision),
-// accepted throughput, and saturation state.
+// accepted throughput, and saturation state. With -sweep it runs a
+// whole latency-load curve instead, fanning the load points over -jobs
+// workers (the results are bit-identical for every worker count).
 //
 // Usage:
 //
 //	dfly-sim -alg UGAL-L_VCH -pattern WC -load 0.3 -p 4 -a 8 -h 4 -buf 16
+//	dfly-sim -alg UGAL-L -pattern WC -sweep 0.05:0.5:0.05 -jobs 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dragonfly/internal/core"
+	"dragonfly/internal/parallel"
 	"dragonfly/internal/sim"
 )
 
@@ -31,6 +36,8 @@ func main() {
 		drain   = flag.Int("drain", 20000, "drain cycle cap")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		hist    = flag.Bool("hist", false, "print the latency histogram")
+		sweep   = flag.String("sweep", "", "run a load sweep from:to:step (e.g. 0.1:0.9:0.1) instead of a single load")
+		jobs    = flag.Int("jobs", 0, "concurrent simulations for -sweep (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -48,7 +55,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("simulating %v, %s routing, %s traffic, load %.3f\n", sys.Topo, alg, pat, *load)
 
 	rc := sim.RunConfig{
 		WarmupCycles:  *warmup,
@@ -56,6 +62,13 @@ func main() {
 		DrainCycles:   *drain,
 		Histogram:     *hist,
 	}
+
+	if *sweep != "" {
+		runSweep(sys, alg, pat, *sweep, *jobs, rc)
+		return
+	}
+
+	fmt.Printf("simulating %v, %s routing, %s traffic, load %.3f\n", sys.Topo, alg, pat, *load)
 	res, err := sys.Run(alg, pat, *load, rc)
 	if err != nil {
 		fatal(err)
@@ -84,6 +97,55 @@ func main() {
 				int64(i)*res.Hist.Width, (int64(i)+1)*res.Hist.Width-1, c, bar(res.Hist.Fraction(i)))
 		}
 	}
+}
+
+// runSweep runs a latency-load curve on a worker pool and prints it as
+// an aligned table, stopping two points after saturation like the
+// paper's plots.
+func runSweep(sys *core.System, alg core.Algorithm, pat core.Pattern, spec string, jobs int, rc sim.RunConfig) {
+	loads, err := parseSweep(spec)
+	if err != nil {
+		fatal(err)
+	}
+	pool := parallel.New(jobs)
+	pool.SetLog(os.Stderr)
+	fmt.Printf("sweeping %v, %s routing, %s traffic: %d load points on %d workers\n",
+		sys.Topo, alg, pat, len(loads), pool.Jobs())
+	pts, err := sys.SweepPool(pool, alg, pat, loads, rc, 2)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-10s %12s %12s %10s\n", "load", "latency", "accepted", "saturated")
+	for _, p := range pts {
+		mark := ""
+		if p.Result.Saturated {
+			mark = " *"
+		}
+		fmt.Printf("%-10.3f %12.1f %12.3f %10v%s\n",
+			p.Load, p.Result.Latency.Mean(), p.Result.Accepted, p.Result.Saturated, mark)
+	}
+}
+
+// parseSweep parses a from:to:step load range.
+func parseSweep(spec string) ([]float64, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("-sweep wants from:to:step, got %q", spec)
+	}
+	var from, to, step float64
+	for i, dst := range []*float64{&from, &to, &step} {
+		if _, err := fmt.Sscanf(parts[i], "%g", dst); err != nil {
+			return nil, fmt.Errorf("bad -sweep component %q: %w", parts[i], err)
+		}
+	}
+	if step <= 0 || to < from {
+		return nil, fmt.Errorf("-sweep range %q is empty (want from <= to, step > 0)", spec)
+	}
+	var loads []float64
+	for x := from; x <= to+1e-9; x += step {
+		loads = append(loads, float64(int(x*1000+0.5))/1000)
+	}
+	return loads, nil
 }
 
 func pctl(res sim.Result) float64 {

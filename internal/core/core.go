@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 
+	"dragonfly/internal/parallel"
 	"dragonfly/internal/routing"
 	"dragonfly/internal/sim"
 	"dragonfly/internal/topology"
@@ -216,23 +217,60 @@ type SweepPoint struct {
 
 // Sweep runs a load sweep with a fresh network per point, stopping early
 // after the first saturated point beyond stopAfterSaturated consecutive
-// saturations (0 disables early stopping).
+// saturations (0 disables early stopping). Load points are dispatched to
+// the process-wide shared worker pool (parallel.Default, sized to
+// GOMAXPROCS); use SweepPool to control the worker count.
 func (s *System) Sweep(alg Algorithm, pattern Pattern, loads []float64, rc sim.RunConfig, stopAfterSaturated int) ([]SweepPoint, error) {
+	return s.SweepPool(nil, alg, pattern, loads, rc, stopAfterSaturated)
+}
+
+// SweepPool is Sweep running on an explicit worker pool (nil means
+// parallel.Default()). Load points are independent jobs — each builds a
+// fresh network whose seed depends only on the system configuration, so
+// the returned series is bit-identical for every pool size, jobs=1
+// included.
+//
+// Early stopping is preserved by speculative waves: up to pool.Jobs()
+// consecutive load points run concurrently, then the serial
+// stop-after-saturation rule folds the wave into the series, truncating
+// it (and discarding any speculative excess) exactly where the serial
+// sweep would have stopped. Errors behave like the serial sweep too: the
+// points before the first failing load are returned alongside the error.
+func (s *System) SweepPool(pool *parallel.Pool, alg Algorithm, pattern Pattern, loads []float64, rc sim.RunConfig, stopAfterSaturated int) ([]SweepPoint, error) {
+	if pool == nil {
+		pool = parallel.Default()
+	}
+	results := make([]sim.Result, len(loads))
+	errs := make([]error, len(loads))
 	var out []SweepPoint
 	saturated := 0
-	for _, load := range loads {
-		res, err := s.Run(alg, pattern, load, rc)
-		if err != nil {
-			return out, fmt.Errorf("core: %s/%s at load %.3f: %w", alg, pattern, load, err)
+	wave := pool.Jobs()
+	for lo := 0; lo < len(loads); lo += wave {
+		hi := lo + wave
+		if hi > len(loads) {
+			hi = len(loads)
 		}
-		out = append(out, SweepPoint{Load: load, Result: res})
-		if res.Saturated {
-			saturated++
-			if stopAfterSaturated > 0 && saturated >= stopAfterSaturated {
-				break
+		pool.ForEach(hi-lo, func(j int) error {
+			i := lo + j
+			pool.Work(func() {
+				results[i], errs[i] = s.Run(alg, pattern, loads[i], rc)
+				pool.Logf("  %s/%s load %.3f done\n", alg, pattern, loads[i])
+			})
+			return nil
+		})
+		for i := lo; i < hi; i++ {
+			if errs[i] != nil {
+				return out, fmt.Errorf("core: %s/%s at load %.3f: %w", alg, pattern, loads[i], errs[i])
 			}
-		} else {
-			saturated = 0
+			out = append(out, SweepPoint{Load: loads[i], Result: results[i]})
+			if results[i].Saturated {
+				saturated++
+				if stopAfterSaturated > 0 && saturated >= stopAfterSaturated {
+					return out, nil
+				}
+			} else {
+				saturated = 0
+			}
 		}
 	}
 	return out, nil

@@ -3,7 +3,10 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
+
+	"dragonfly/internal/parallel"
 )
 
 // Exhibit is anything the harness can render.
@@ -17,6 +20,10 @@ type Runner struct {
 	Scale Scale
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// Jobs caps the number of concurrently running simulations
+	// (0 = GOMAXPROCS). Results are identical for every value; only
+	// wall-clock time changes.
+	Jobs int
 }
 
 // Names lists every experiment id in paper order.
@@ -28,8 +35,27 @@ func Names() []string {
 	}
 }
 
+// scaled returns the runner's scale bound to its worker pool: one pool
+// per Runner invocation, shared by every exhibit, series and load point
+// underneath, so Jobs bounds the whole run. An explicitly pooled Scale
+// (Scale.WithPool) is kept as-is.
+func (r Runner) scaled() Scale {
+	if r.Scale.pool != nil {
+		return r.Scale
+	}
+	pool := parallel.New(r.Jobs)
+	if r.Log != nil {
+		pool.SetLog(r.Log)
+	}
+	return r.Scale.WithPool(pool)
+}
+
 // Run executes one experiment by id and returns its exhibits.
 func (r Runner) Run(name string) ([]Exhibit, error) {
+	return r.run(r.scaled(), name)
+}
+
+func (r Runner) run(s Scale, name string) ([]Exhibit, error) {
 	wrapF := func(f *Figure, err error) ([]Exhibit, error) {
 		if err != nil {
 			return nil, err
@@ -58,19 +84,19 @@ func (r Runner) Run(name string) ([]Exhibit, error) {
 	case "fig6":
 		return []Exhibit{Fig06()}, nil
 	case "fig8":
-		return wrapFs(Fig08(r.Scale))
+		return wrapFs(Fig08(s))
 	case "fig9":
-		return wrapF(Fig09(r.Scale))
+		return wrapF(Fig09(s))
 	case "fig10":
-		return wrapFs(Fig10(r.Scale))
+		return wrapFs(Fig10(s))
 	case "fig11":
-		return wrapFs(Fig11(r.Scale))
+		return wrapFs(Fig11(s))
 	case "fig12":
-		return wrapFs(Fig12(r.Scale))
+		return wrapFs(Fig12(s))
 	case "fig14":
-		return wrapF(Fig14(r.Scale))
+		return wrapF(Fig14(s))
 	case "fig16":
-		return wrapFs(Fig16(r.Scale))
+		return wrapFs(Fig16(s))
 	case "fig18":
 		t, err := Fig18()
 		if err != nil {
@@ -91,21 +117,42 @@ func (r Runner) Run(name string) ([]Exhibit, error) {
 }
 
 // RunAll executes every experiment and renders the full report to w.
+// The experiments run concurrently on the runner's worker pool (at most
+// Jobs simulations at once across all of them); the report is rendered
+// strictly in paper order once everything has finished, so the output is
+// byte-identical to a serial run. Like the serial runner, exhibits
+// preceding the first failure are still rendered before the error is
+// returned.
 func (r Runner) RunAll(w io.Writer) error {
-	for _, name := range Names() {
+	s := r.scaled()
+	names := Names()
+
+	var logMu sync.Mutex
+	logf := func(format string, args ...any) {
+		if r.Log == nil {
+			return
+		}
+		logMu.Lock()
+		defer logMu.Unlock()
+		fmt.Fprintf(r.Log, format, args...)
+	}
+	logf("running %d experiments on %d workers\n", len(names), s.Pool().Jobs())
+
+	exhibits := make([][]Exhibit, len(names))
+	errs := make([]error, len(names))
+	s.Pool().ForEach(len(names), func(i int) error {
 		start := time.Now()
-		if r.Log != nil {
-			fmt.Fprintf(r.Log, "running %s...\n", name)
+		exhibits[i], errs[i] = r.run(s, names[i])
+		logf("%s done in %.1fs\n", names[i], time.Since(start).Seconds())
+		return nil
+	})
+
+	for i, name := range names {
+		if errs[i] != nil {
+			return fmt.Errorf("experiments: %s: %w", name, errs[i])
 		}
-		exhibits, err := r.Run(name)
-		if err != nil {
-			return fmt.Errorf("experiments: %s: %w", name, err)
-		}
-		for _, e := range exhibits {
+		for _, e := range exhibits[i] {
 			e.Render(w)
-		}
-		if r.Log != nil {
-			fmt.Fprintf(r.Log, "  %s done in %.1fs\n", name, time.Since(start).Seconds())
 		}
 	}
 	return nil

@@ -8,7 +8,10 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
+
+	"dragonfly/internal/parallel"
 )
 
 // Scale selects simulation fidelity: the paper-scale runs use the 1K
@@ -25,6 +28,27 @@ type Scale struct {
 	// evaluation network (p=h=4, a=8) to the 72-node example (p=h=2,
 	// a=4).
 	Small bool
+
+	// pool runs the scale's simulations; nil means the process-wide
+	// shared pool. Set with WithPool (the Runner does this from its Jobs
+	// field) so one pool bounds a whole experiment run.
+	pool *parallel.Pool
+}
+
+// WithPool returns a copy of s whose simulations run on pool. Results
+// are identical for every pool — only wall-clock time changes.
+func (s Scale) WithPool(pool *parallel.Pool) Scale {
+	s.pool = pool
+	return s
+}
+
+// Pool returns the worker pool this scale's simulations run on,
+// defaulting to the process-wide shared pool.
+func (s Scale) Pool() *parallel.Pool {
+	if s.pool != nil {
+		return s.pool
+	}
+	return parallel.Default()
 }
 
 // Paper is the evaluation fidelity of Section 4.2.
@@ -67,7 +91,9 @@ type Figure struct {
 // values in the first column, one column per series.
 func (f *Figure) Render(w io.Writer) {
 	fmt.Fprintf(w, "== %s — %s ==\n", f.ID, f.Title)
-	// Collect the x values in first-series order, merging the rest.
+	// Merge the series' x values and sort the union numerically: series
+	// saturate (and stop) at different loads, so first-series order would
+	// emit the later series' extra points out of order.
 	seen := map[float64]bool{}
 	var xs []float64
 	for _, s := range f.Series {
@@ -78,6 +104,7 @@ func (f *Figure) Render(w io.Writer) {
 			}
 		}
 	}
+	sort.Float64s(xs)
 	fmt.Fprintf(w, "%-12s", f.XLabel)
 	for _, s := range f.Series {
 		fmt.Fprintf(w, " %16s", s.Name)

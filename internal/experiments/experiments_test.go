@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -177,6 +178,36 @@ func TestFigureRender(t *testing.T) {
 	for _, want := range []string{"Figure X", "20*", "note: hello", "a", "b"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureRenderSortsXUnion(t *testing.T) {
+	// Series that saturate at different loads contribute different x
+	// sets; the merged axis must come out numerically sorted no matter
+	// the series order.
+	f := &Figure{
+		ID: "Figure S", Title: "sort", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "late", X: []float64{0.3, 0.5}, Y: []float64{3, 5}},
+			{Name: "early", X: []float64{0.1, 0.2}, Y: []float64{1, 2}},
+		},
+	}
+	var buf bytes.Buffer
+	f.Render(&buf)
+	var xs []float64
+	for _, line := range strings.Split(buf.String(), "\n") {
+		var x float64
+		if _, err := fmt.Sscanf(line, "%g", &x); err == nil {
+			xs = append(xs, x)
+		}
+	}
+	if len(xs) != 4 {
+		t.Fatalf("expected 4 data rows, got %v in:\n%s", xs, buf.String())
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			t.Fatalf("x axis not sorted: %v", xs)
 		}
 	}
 }

@@ -27,10 +27,11 @@ func (s Scale) runCfg() sim.RunConfig {
 }
 
 // sweep runs a latency-load curve for one algorithm/pattern pair,
-// stopping two points after saturation like the paper's plots.
+// stopping two points after saturation like the paper's plots. The load
+// points run on the scale's worker pool.
 func (s Scale) sweep(sys *core.System, alg core.Algorithm, pattern core.Pattern, loads []float64) (Series, error) {
 	ser := Series{Name: string(alg)}
-	points, err := sys.Sweep(alg, pattern, loads, s.runCfg(), 2)
+	points, err := sys.SweepPool(s.Pool(), alg, pattern, loads, s.runCfg(), 2)
 	if err != nil {
 		return ser, err
 	}
@@ -46,6 +47,55 @@ func (s Scale) sweep(sys *core.System, alg core.Algorithm, pattern core.Pattern,
 func (s Scale) urLoads() []float64 { return s.loads(0.1, 0.95, 0.1) }
 func (s Scale) wcLoads() []float64 { return s.loads(0.05, 0.5, 0.05) }
 
+// patternCases are the UR/WC halves shared by Figures 8 and 10.
+func (s Scale) patternCases() []struct {
+	pattern core.Pattern
+	loads   []float64
+} {
+	return []struct {
+		pattern core.Pattern
+		loads   []float64
+	}{
+		{core.PatternUR, s.urLoads()},
+		{core.PatternWC, s.wcLoads()},
+	}
+}
+
+// routingComparison fills the two UR/WC figures with one series per
+// algorithm. Every (pattern, algorithm) series is an independent job and
+// they all run concurrently on the scale's pool; series order within
+// each figure stays the caller's algorithm order.
+func (s Scale) routingComparison(sys *core.System, algs []core.Algorithm, out []*Figure) error {
+	cases := s.patternCases()
+	type job struct {
+		fig int
+		alg core.Algorithm
+	}
+	var jobs []job
+	for i := range cases {
+		for _, alg := range algs {
+			jobs = append(jobs, job{fig: i, alg: alg})
+		}
+	}
+	sers := make([]Series, len(jobs))
+	err := s.Pool().ForEach(len(jobs), func(k int) error {
+		j := jobs[k]
+		ser, err := s.sweep(sys, j.alg, cases[j.fig].pattern, cases[j.fig].loads)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", j.alg, cases[j.fig].pattern, err)
+		}
+		sers[k] = ser
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for k, j := range jobs {
+		out[j.fig].Series = append(out[j.fig].Series, sers[k])
+	}
+	return nil
+}
+
 // Fig08 reproduces Figure 8: latency versus offered load for MIN, VAL,
 // UGAL-G and UGAL-L under (a) uniform random and (b) worst-case traffic.
 func Fig08(s Scale) ([]*Figure, error) {
@@ -58,20 +108,8 @@ func Fig08(s Scale) ([]*Figure, error) {
 		{ID: "Figure 8(a)", Title: "Routing comparison, uniform random traffic", XLabel: "offered load", YLabel: "avg latency (cycles), * = saturated"},
 		{ID: "Figure 8(b)", Title: "Routing comparison, worst-case traffic", XLabel: "offered load", YLabel: "avg latency (cycles), * = saturated"},
 	}
-	for i, tc := range []struct {
-		pattern core.Pattern
-		loads   []float64
-	}{
-		{core.PatternUR, s.urLoads()},
-		{core.PatternWC, s.wcLoads()},
-	} {
-		for _, alg := range algs {
-			ser, err := s.sweep(sys, alg, tc.pattern, tc.loads)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", alg, tc.pattern, err)
-			}
-			out[i].Series = append(out[i].Series, ser)
-		}
+	if err := s.routingComparison(sys, algs, out); err != nil {
+		return nil, err
 	}
 	out[0].Notes = append(out[0].Notes,
 		"expected shape: MIN and both UGALs reach near-unit throughput; VAL saturates near 0.5 with ~2x zero-load latency")
@@ -95,36 +133,46 @@ func Fig09(s Scale) (*Figure, error) {
 		XLabel: "global channel",
 		YLabel: "utilisation",
 	}
-	for _, alg := range []core.Algorithm{core.AlgUGALL, core.AlgUGALG} {
+	algs := []core.Algorithm{core.AlgUGALL, core.AlgUGALG}
+	sers := make([]Series, len(algs))
+	err = s.Pool().ForEach(len(algs), func(ai int) error {
+		alg := algs[ai]
 		net, err := sys.NewNetwork(alg, core.PatternWC)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		net.SetLoad(0.2)
-		net.EnableUtilization()
-		for i := 0; i < s.Warmup; i++ {
-			net.Step()
-		}
-		net.ResetUtilization()
-		for i := 0; i < s.Measure; i++ {
-			net.Step()
-		}
-		// Slot c of every group leads to group (g+1+c mod (g-1)); slot 0
-		// is the minimal channel for the WC pattern. Average per slot
-		// across groups.
 		ser := Series{Name: string(alg)}
-		slots := d.A * d.H
-		for c := 0; c < slots; c++ {
-			var busy int64
-			for grp := 0; grp < d.G; grp++ {
-				r := d.GroupRouter(grp, d.SlotRouterIndex(c))
-				busy += net.ChannelBusy(r, d.GlobalPort(c))
+		s.Pool().Work(func() {
+			net.SetLoad(0.2)
+			net.EnableUtilization()
+			for i := 0; i < s.Warmup; i++ {
+				net.Step()
 			}
-			ser.X = append(ser.X, float64(c))
-			ser.Y = append(ser.Y, float64(busy)/float64(d.G)/float64(s.Measure))
-		}
-		f.Series = append(f.Series, ser)
+			net.ResetUtilization()
+			for i := 0; i < s.Measure; i++ {
+				net.Step()
+			}
+			// Slot c of every group leads to group (g+1+c mod (g-1)); slot 0
+			// is the minimal channel for the WC pattern. Average per slot
+			// across groups.
+			slots := d.A * d.H
+			for c := 0; c < slots; c++ {
+				var busy int64
+				for grp := 0; grp < d.G; grp++ {
+					r := d.GroupRouter(grp, d.SlotRouterIndex(c))
+					busy += net.ChannelBusy(r, d.GlobalPort(c))
+				}
+				ser.X = append(ser.X, float64(c))
+				ser.Y = append(ser.Y, float64(busy)/float64(d.G)/float64(s.Measure))
+			}
+		})
+		sers[ai] = ser
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Series = sers
 	f.Notes = append(f.Notes,
 		"channel 0 is the minimal channel; 1..h-1 share its router",
 		"expected shape: UGAL-G loads the minimal channel hardest and balances the rest evenly; UGAL-L under-uses the non-minimal channels sharing the minimal channel's router")
@@ -144,20 +192,8 @@ func Fig10(s Scale) ([]*Figure, error) {
 		{ID: "Figure 10(a)", Title: "UGAL-L_VC variants, uniform random traffic", XLabel: "offered load", YLabel: "avg latency (cycles), * = saturated"},
 		{ID: "Figure 10(b)", Title: "UGAL-L_VC variants, worst-case traffic", XLabel: "offered load", YLabel: "avg latency (cycles), * = saturated"},
 	}
-	for i, tc := range []struct {
-		pattern core.Pattern
-		loads   []float64
-	}{
-		{core.PatternUR, s.urLoads()},
-		{core.PatternWC, s.wcLoads()},
-	} {
-		for _, alg := range algs {
-			ser, err := s.sweep(sys, alg, tc.pattern, tc.loads)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", alg, tc.pattern, err)
-			}
-			out[i].Series = append(out[i].Series, ser)
-		}
+	if err := s.routingComparison(sys, algs, out); err != nil {
+		return nil, err
 	}
 	out[0].Notes = append(out[0].Notes,
 		"expected shape: UGAL-L_VC loses throughput on UR (per-VC queues misjudge balanced traffic); the hybrid UGAL-L_VCH restores it")
@@ -168,13 +204,21 @@ func Fig10(s Scale) ([]*Figure, error) {
 
 // Fig11 reproduces Figure 11: minimally- versus non-minimally-routed
 // packet latency under UGAL-L and WC traffic, with 16- and 256-flit
-// input buffers.
+// input buffers. The two buffer depths run concurrently, and each
+// depth's load points fan out through the sweep engine (stopping one
+// point after saturation, like the paper's plot).
 func Fig11(s Scale) ([]*Figure, error) {
-	var out []*Figure
-	for _, buf := range []int{16, 256} {
+	bufs := []int{16, 256}
+	out := make([]*Figure, len(bufs))
+	err := s.Pool().ForEach(len(bufs), func(bi int) error {
+		buf := bufs[bi]
 		sys, err := s.evalSystem(buf)
 		if err != nil {
-			return nil, err
+			return err
+		}
+		pts, err := sys.SweepPool(s.Pool(), core.AlgUGALL, core.PatternWC, s.wcLoads(), s.runCfg(), 1)
+		if err != nil {
+			return err
 		}
 		f := &Figure{
 			ID:     fmt.Sprintf("Figure 11 (buffers=%d)", buf),
@@ -185,28 +229,25 @@ func Fig11(s Scale) ([]*Figure, error) {
 		min := Series{Name: "minimal pkts"}
 		nonmin := Series{Name: "non-minimal"}
 		avg := Series{Name: "average"}
-		for _, load := range s.wcLoads() {
-			res, err := sys.Run(core.AlgUGALL, core.PatternWC, load, s.runCfg())
-			if err != nil {
-				return nil, err
-			}
-			min.X = append(min.X, load)
-			min.Y = append(min.Y, res.MinLatency.Mean())
-			min.Saturated = append(min.Saturated, res.Saturated)
-			nonmin.X = append(nonmin.X, load)
-			nonmin.Y = append(nonmin.Y, res.NonminLatency.Mean())
-			nonmin.Saturated = append(nonmin.Saturated, res.Saturated)
-			avg.X = append(avg.X, load)
-			avg.Y = append(avg.Y, res.Latency.Mean())
-			avg.Saturated = append(avg.Saturated, res.Saturated)
-			if res.Saturated {
-				break
-			}
+		for _, p := range pts {
+			min.X = append(min.X, p.Load)
+			min.Y = append(min.Y, p.Result.MinLatency.Mean())
+			min.Saturated = append(min.Saturated, p.Result.Saturated)
+			nonmin.X = append(nonmin.X, p.Load)
+			nonmin.Y = append(nonmin.Y, p.Result.NonminLatency.Mean())
+			nonmin.Saturated = append(nonmin.Saturated, p.Result.Saturated)
+			avg.X = append(avg.X, p.Load)
+			avg.Y = append(avg.Y, p.Result.Latency.Mean())
+			avg.Saturated = append(avg.Saturated, p.Result.Saturated)
 		}
 		f.Series = []Series{min, nonmin, avg}
 		f.Notes = append(f.Notes,
 			"expected shape: non-minimal packets track UGAL-G latency while minimal packets pay the buffer-filling penalty, which grows with buffer depth")
-		out = append(out, f)
+		out[bi] = f
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -215,18 +256,24 @@ func Fig11(s Scale) ([]*Figure, error) {
 // under UGAL-L and WC traffic, for 16- and 256-flit buffers — the
 // bimodal distribution whose slow mode is the minimally-routed packets.
 func Fig12(s Scale) ([]*Figure, error) {
-	var out []*Figure
-	for _, buf := range []int{16, 256} {
+	bufs := []int{16, 256}
+	out := make([]*Figure, len(bufs))
+	err := s.Pool().ForEach(len(bufs), func(bi int) error {
+		buf := bufs[bi]
 		sys, err := s.evalSystem(buf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rc := s.runCfg()
 		rc.Histogram = true
 		rc.HistWidth = 4
-		res, err := sys.Run(core.AlgUGALL, core.PatternWC, 0.25, rc)
-		if err != nil {
-			return nil, err
+		var res sim.Result
+		var rerr error
+		s.Pool().Work(func() {
+			res, rerr = sys.Run(core.AlgUGALL, core.PatternWC, 0.25, rc)
+		})
+		if rerr != nil {
+			return rerr
 		}
 		f := &Figure{
 			ID:     fmt.Sprintf("Figure 12 (buffers=%d)", buf),
@@ -253,14 +300,18 @@ func Fig12(s Scale) ([]*Figure, error) {
 		f.Notes = append(f.Notes,
 			fmt.Sprintf("minimal packets: %.1f%% of traffic, mean latency %.1f vs %.1f overall",
 				100*res.MinimalFraction, res.MinLatency.Mean(), res.Latency.Mean()))
-		out = append(out, f)
+		out[bi] = f
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // Fig14 reproduces Figure 14: UGAL-L latency under WC traffic as the
 // input buffer depth varies — shallower buffers give stiffer backpressure
-// and lower intermediate latency.
+// and lower intermediate latency. All five depth series run concurrently.
 func Fig14(s Scale) (*Figure, error) {
 	f := &Figure{
 		ID:     "Figure 14",
@@ -268,18 +319,25 @@ func Fig14(s Scale) (*Figure, error) {
 		XLabel: "offered load",
 		YLabel: "avg latency (cycles), * = saturated",
 	}
-	for _, buf := range []int{4, 8, 16, 32, 64} {
-		sys, err := s.evalSystem(buf)
+	bufs := []int{4, 8, 16, 32, 64}
+	sers := make([]Series, len(bufs))
+	err := s.Pool().ForEach(len(bufs), func(bi int) error {
+		sys, err := s.evalSystem(bufs[bi])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ser, err := s.sweep(sys, core.AlgUGALL, core.PatternWC, s.wcLoads())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ser.Name = fmt.Sprintf("buffers=%d", buf)
-		f.Series = append(f.Series, ser)
+		ser.Name = fmt.Sprintf("buffers=%d", bufs[bi])
+		sers[bi] = ser
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.Series = sers
 	f.Notes = append(f.Notes,
 		"expected shape: intermediate latency grows with buffer depth; very shallow buffers trade throughput for stiffness")
 	return f, nil
@@ -287,11 +345,11 @@ func Fig14(s Scale) (*Figure, error) {
 
 // Fig16 reproduces Figure 16: UGAL-L_CR (credit round-trip latency)
 // against UGAL-L_VCH and UGAL-G on WC and UR traffic with 16- and
-// 256-flit buffers.
+// 256-flit buffers. All twelve (pattern, buffer, algorithm) series are
+// independent jobs running concurrently.
 func Fig16(s Scale) ([]*Figure, error) {
 	algs := []core.Algorithm{core.AlgUGALLVCH, core.AlgUGALLCR, core.AlgUGALG}
-	var out []*Figure
-	for _, tc := range []struct {
+	cases := []struct {
 		pattern core.Pattern
 		buf     int
 		loads   []float64
@@ -300,48 +358,80 @@ func Fig16(s Scale) ([]*Figure, error) {
 		{core.PatternWC, 256, s.wcLoads()},
 		{core.PatternUR, 16, s.urLoads()},
 		{core.PatternUR, 256, s.urLoads()},
-	} {
+	}
+	out := make([]*Figure, len(cases))
+	systems := make([]*core.System, len(cases))
+	for i, tc := range cases {
 		sys, err := s.evalSystem(tc.buf)
 		if err != nil {
 			return nil, err
 		}
-		f := &Figure{
+		systems[i] = sys
+		out[i] = &Figure{
 			ID:     fmt.Sprintf("Figure 16 (%s, buffers=%d)", tc.pattern, tc.buf),
 			Title:  "Credit round-trip latency mechanism",
 			XLabel: "offered load",
 			YLabel: "avg latency (cycles), * = saturated",
 		}
-		for _, alg := range algs {
-			ser, err := s.sweep(sys, alg, tc.pattern, tc.loads)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s/buf%d: %w", alg, tc.pattern, tc.buf, err)
-			}
-			f.Series = append(f.Series, ser)
-		}
 		if tc.pattern == core.PatternWC {
-			f.Notes = append(f.Notes,
+			out[i].Notes = append(out[i].Notes,
 				"expected shape: UGAL-L_CR cuts the minimal-packet latency hump and is buffer-size independent")
 		}
-		out = append(out, f)
+	}
+	type job struct {
+		fig int
+		alg core.Algorithm
+	}
+	var jobs []job
+	for i := range cases {
+		for _, alg := range algs {
+			jobs = append(jobs, job{fig: i, alg: alg})
+		}
+	}
+	sers := make([]Series, len(jobs))
+	err := s.Pool().ForEach(len(jobs), func(k int) error {
+		j := jobs[k]
+		tc := cases[j.fig]
+		ser, err := s.sweep(systems[j.fig], j.alg, tc.pattern, tc.loads)
+		if err != nil {
+			return fmt.Errorf("%s/%s/buf%d: %w", j.alg, tc.pattern, tc.buf, err)
+		}
+		sers[k] = ser
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, j := range jobs {
+		out[j.fig].Series = append(out[j.fig].Series, sers[k])
 	}
 	return out, nil
 }
 
 // MinLatencyComparison distils the Figure 16 headline into two numbers:
 // the minimally-routed packet latency of UGAL-L_VCH versus UGAL-L_CR at
-// WC load 0.3.
+// WC load 0.3. The two runs execute concurrently.
 func MinLatencyComparison(s Scale, buf int) (vch, cr float64, err error) {
 	sys, err := s.evalSystem(buf)
 	if err != nil {
 		return 0, 0, err
 	}
-	resVCH, err := sys.Run(core.AlgUGALLVCH, core.PatternWC, 0.3, s.runCfg())
+	algs := []core.Algorithm{core.AlgUGALLVCH, core.AlgUGALLCR}
+	lat := make([]float64, len(algs))
+	err = s.Pool().ForEach(len(algs), func(i int) error {
+		var res sim.Result
+		var rerr error
+		s.Pool().Work(func() {
+			res, rerr = sys.Run(algs[i], core.PatternWC, 0.3, s.runCfg())
+		})
+		if rerr != nil {
+			return rerr
+		}
+		lat[i] = res.MinLatency.Mean()
+		return nil
+	})
 	if err != nil {
 		return 0, 0, err
 	}
-	resCR, err := sys.Run(core.AlgUGALLCR, core.PatternWC, 0.3, s.runCfg())
-	if err != nil {
-		return 0, 0, err
-	}
-	return resVCH.MinLatency.Mean(), resCR.MinLatency.Mean(), nil
+	return lat[0], lat[1], nil
 }

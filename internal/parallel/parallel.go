@@ -1,0 +1,124 @@
+// Package parallel is the worker-pool engine behind concurrent
+// simulation sweeps: it bounds how many cycle-accurate simulations run
+// at once while leaving every coordination layer (load sweeps, figure
+// series, whole experiments) free to fan out.
+//
+// The design separates the two concerns that usually tangle a nested
+// worker pool into a deadlock:
+//
+//   - ForEach is a pure fan-out/join coordinator. It spawns one
+//     goroutine per index, imposes no concurrency limit of its own, and
+//     never holds a worker slot — so a ForEach nested inside another
+//     ForEach (a per-series sweep inside a per-figure loop inside the
+//     all-experiments loop) is always safe, even on a one-worker pool.
+//   - Work is the unit of bounded concurrency. Leaf jobs — one
+//     simulation run each — wrap their heavy work in Work, which blocks
+//     until one of the pool's slots is free.
+//
+// A sim.Network is strictly single-threaded; the pool only ever runs
+// *independent* networks concurrently. Determinism therefore falls out
+// of job independence: every job derives its seed from the job identity
+// alone (see sim.DeriveSeed), writes its result into its own index, and
+// the pool's scheduling order cannot influence any result bit.
+package parallel
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// Pool bounds the number of concurrently running simulations.
+// A Pool is safe for use by multiple goroutines.
+type Pool struct {
+	jobs int
+	sem  chan struct{}
+
+	mu  sync.Mutex
+	log io.Writer
+}
+
+// New returns a pool with the given number of worker slots; jobs <= 0
+// means runtime.GOMAXPROCS(0).
+func New(jobs int) *Pool {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{jobs: jobs, sem: make(chan struct{}, jobs)}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultPool *Pool
+)
+
+// Default returns the process-wide shared pool, sized to GOMAXPROCS at
+// first use. Callers that do not thread an explicit pool (library users
+// calling core.System.Sweep directly) share it, so independent sweeps
+// running at the same time still respect one machine-wide limit.
+func Default() *Pool {
+	defaultOnce.Do(func() { defaultPool = New(0) })
+	return defaultPool
+}
+
+// Jobs returns the pool's worker-slot count.
+func (p *Pool) Jobs() int { return p.jobs }
+
+// SetLog directs per-job progress lines (Logf) to w; nil disables them.
+func (p *Pool) SetLog(w io.Writer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.log = w
+}
+
+// Logf writes one progress line, serialised across workers. It is a
+// no-op unless SetLog installed a writer.
+func (p *Pool) Logf(format string, args ...any) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.log == nil {
+		return
+	}
+	fmt.Fprintf(p.log, format, args...)
+}
+
+// Work runs fn while holding one of the pool's worker slots, blocking
+// until a slot is free. Only leaf work (one simulation run) may be
+// wrapped in Work; coordinators must not call Work around code that
+// itself reaches Work, or a one-worker pool would deadlock on itself.
+func (p *Pool) Work(fn func()) {
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	fn()
+}
+
+// ForEach runs fn(0), …, fn(n-1) on their own goroutines and waits for
+// all of them. It imposes no concurrency limit itself — bounding happens
+// where the work is, via Work — so ForEach calls nest freely.
+//
+// Every job runs to completion regardless of other jobs' errors (sweep
+// results are speculative; the caller truncates). The error returned is
+// the lowest-index one, which keeps error reporting independent of
+// scheduling order.
+func (p *Pool) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := New(0).Jobs(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("New(0).Jobs() = %d, want %d", got, want)
+	}
+	if got := New(-3).Jobs(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(-3).Jobs() = %d", got)
+	}
+	if got := New(7).Jobs(); got != 7 {
+		t.Errorf("New(7).Jobs() = %d, want 7", got)
+	}
+}
+
+func TestForEachVisitsEveryIndex(t *testing.T) {
+	p := New(3)
+	n := 50
+	seen := make([]int32, n)
+	if err := p.ForEach(n, func(i int) error {
+		atomic.AddInt32(&seen[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Errorf("index %d visited %d times", i, c)
+		}
+	}
+	if err := p.ForEach(0, func(int) error { t.Error("fn called for n=0"); return nil }); err != nil {
+		t.Errorf("ForEach(0) = %v", err)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	p := New(4)
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	err := p.ForEach(10, func(i int) error {
+		switch i {
+		case 3:
+			return errLow
+		case 7:
+			return errHigh
+		}
+		return nil
+	})
+	if err != errLow {
+		t.Errorf("ForEach error = %v, want the lowest-index error %v", err, errLow)
+	}
+}
+
+func TestWorkBoundsConcurrency(t *testing.T) {
+	const jobs = 3
+	p := New(jobs)
+	var cur, max int32
+	err := p.ForEach(24, func(int) error {
+		p.Work(func() {
+			c := atomic.AddInt32(&cur, 1)
+			for {
+				m := atomic.LoadInt32(&max)
+				if c <= m || atomic.CompareAndSwapInt32(&max, m, c) {
+					break
+				}
+			}
+			runtime.Gosched()
+			atomic.AddInt32(&cur, -1)
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max > jobs {
+		t.Errorf("observed %d concurrent Work bodies, limit %d", max, jobs)
+	}
+}
+
+func TestNestedForEachDoesNotDeadlockOnOneWorker(t *testing.T) {
+	p := New(1)
+	var leaves int32
+	err := p.ForEach(4, func(int) error {
+		// Coordinator level: no slot held, so the nested leaves can run
+		// even though the pool has a single worker.
+		return p.ForEach(3, func(int) error {
+			p.Work(func() { atomic.AddInt32(&leaves, 1) })
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaves != 12 {
+		t.Errorf("ran %d leaf jobs, want 12", leaves)
+	}
+}
+
+func TestLogf(t *testing.T) {
+	p := New(2)
+	p.Logf("dropped: no writer installed")
+	var sb strings.Builder
+	p.SetLog(&sb)
+	p.Logf("job %d done\n", 7)
+	if got := sb.String(); got != "job 7 done\n" {
+		t.Errorf("Logf wrote %q", got)
+	}
+	p.SetLog(nil)
+	p.Logf("dropped again")
+	if got := sb.String(); got != "job 7 done\n" {
+		t.Errorf("Logf after SetLog(nil) wrote %q", got)
+	}
+}
+
+func TestDefaultIsShared(t *testing.T) {
+	if Default() != Default() {
+		t.Error("Default() must return one shared pool")
+	}
+}

@@ -44,8 +44,16 @@ func (v *VAL) Decide(net *sim.Network, r *sim.Router, pkt *sim.Packet) {
 		pkt.InterGroup = -1
 		return
 	}
+	gi := v.pickInterGroup(gs, pkt.Seed)
+	if gi == gs {
+		// Single-group topology: no intermediate group exists, so the
+		// "Valiant" path is the minimal one.
+		pkt.Minimal = true
+		pkt.InterGroup = -1
+		return
+	}
 	pkt.Minimal = false
-	pkt.InterGroup = v.pickInterGroup(gs, pkt.Seed)
+	pkt.InterGroup = gi
 }
 
 // UGALMode selects the congestion-estimate flavour of UGAL.
@@ -131,6 +139,12 @@ func (u *UGAL) Decide(net *sim.Network, r *sim.Router, pkt *sim.Packet) {
 	gs := t.RouterGroup(r.ID)
 	gd := t.RouterGroup(dstR)
 	gi := u.pickInterGroup(gs, pkt.Seed)
+	if gi == gs {
+		// Single-group topology: no non-minimal candidate exists.
+		pkt.Minimal = true
+		pkt.InterGroup = -1
+		return
+	}
 
 	hm := u.minimalHops(r.ID, dstR, pkt.Seed)
 	hnm := u.nonminimalHops(r.ID, dstR, gi, pkt.Seed)

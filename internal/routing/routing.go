@@ -180,9 +180,14 @@ func (b *base) nonminimalHops(rID, dstR, gi int, seed uint64) int {
 
 // pickInterGroup draws the Valiant intermediate group for a packet,
 // uniform over all groups except the source group (a candidate equal to
-// the source group carries no load-balancing value).
+// the source group carries no load-balancing value). On a single-group
+// topology there is no other group to draw, so it returns gs itself —
+// callers treat that as "route minimally" — instead of dividing by zero.
 func (b *base) pickInterGroup(gs int, seed uint64) int {
 	g := b.topo.Groups()
+	if g <= 1 {
+		return gs
+	}
 	gi := int(sim.Mix(seed^0xd1b54a32d192ed03) % uint64(g-1))
 	if gi >= gs {
 		gi++

@@ -16,7 +16,23 @@ type rng struct{ state uint64 }
 // inject identical destination sequences one cycle apart, which
 // synchronises the whole network.)
 func newRNG(seed, stream uint64) rng {
-	return rng{state: Mix(Mix(stream+0x632be59bd9b4e019) ^ seed)}
+	return rng{state: DeriveSeed(seed, stream)}
+}
+
+// DeriveSeed folds the given parts into base, producing a seed that is a
+// pure function of (base, parts) with every part passed through two full
+// SplitMix64 mixing rounds. It is the derivation the per-terminal RNG
+// streams use, exported so parallel execution engines can give each
+// independent job (a load point, a series, an experiment) its own
+// deterministic seed: because the derived seed depends only on the job's
+// identity and never on shared generator state, results are bit-identical
+// whether the jobs run serially or concurrently, in any order.
+func DeriveSeed(base uint64, parts ...uint64) uint64 {
+	s := base
+	for _, p := range parts {
+		s = Mix(Mix(p+0x632be59bd9b4e019) ^ s)
+	}
+	return s
 }
 
 // Next returns the next 64-bit value.

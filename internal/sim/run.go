@@ -108,7 +108,18 @@ func Run(net *Network, rc RunConfig) (Result, error) {
 			res.Hist.Add(now - p.CreateTime)
 		}
 	}
-	defer func() { net.OnEject = nil }()
+	// Reset the measurement state on every exit path, error returns
+	// included: a stall error inside the measurement loop must not leave
+	// net.measuring/net.countWindow set (tagging warm-up packets and
+	// corrupting window counts of any later run on this network), and the
+	// ejection observer must never outlive the run whose Result it
+	// captures. The observer is cleared first so no packet can be counted
+	// against a half-reset window.
+	defer func() {
+		net.OnEject = nil
+		net.measuring = false
+		net.countWindow = false
+	}()
 
 	net.SetLoad(rc.Load)
 	stalled := func() bool {

@@ -51,7 +51,10 @@ type Dragonfly struct {
 }
 
 // NewDragonfly builds a dragonfly with the given parameters. If groups is
-// zero the maximal configuration g = a*h+1 is used.
+// zero the maximal configuration g = a*h+1 is used. groups = 1 builds the
+// degenerate single-group machine — one fully connected group with no
+// global channels (every route is intra-group); it exists so routing
+// algorithms and tests can exercise the no-other-group edge case.
 func NewDragonfly(p, a, h, groups int) (*Dragonfly, error) {
 	if p < 1 || a < 1 || h < 1 {
 		return nil, fmt.Errorf("topology: dragonfly parameters must be positive (p=%d a=%d h=%d)", p, a, h)
@@ -60,15 +63,19 @@ func NewDragonfly(p, a, h, groups int) (*Dragonfly, error) {
 	if groups == 0 {
 		groups = maxGroups
 	}
-	if groups < 2 {
-		return nil, fmt.Errorf("topology: dragonfly needs at least 2 groups (got %d)", groups)
+	if groups < 1 {
+		return nil, fmt.Errorf("topology: dragonfly needs at least 1 group (got %d)", groups)
 	}
 	if groups > maxGroups {
 		return nil, fmt.Errorf("topology: dragonfly with a=%d h=%d supports at most %d groups (got %d)", a, h, maxGroups, groups)
 	}
-	wire, err := newGwire(groups, a*h)
-	if err != nil {
-		return nil, err
+	var wire gwire
+	if groups > 1 {
+		var err error
+		wire, err = newGwire(groups, a*h)
+		if err != nil {
+			return nil, err
+		}
 	}
 	d := &Dragonfly{P: p, A: a, H: h, G: groups, wire: wire}
 
@@ -102,7 +109,7 @@ func NewDragonfly(p, a, h, groups int) (*Dragonfly, error) {
 				Terminal:   -1,
 			})
 		}
-		for jg := 0; jg < h; jg++ {
+		for jg := 0; groups > 1 && jg < h; jg++ {
 			c := idx*h + jg
 			dst, back := d.peerSlot(grp, c)
 			ports = append(ports, Port{
@@ -128,6 +135,9 @@ func NewDragonfly(p, a, h, groups int) (*Dragonfly, error) {
 // the canonical port layout (global port of slot c is P+A-1+c%H on router
 // c/H, wired to the peer computed by peerSlot).
 func (d *Dragonfly) checkPortLayout() error {
+	if d.G == 1 {
+		return nil // a single-group dragonfly has no global ports
+	}
 	for grp := 0; grp < d.G; grp++ {
 		for c := 0; c < d.A*d.H; c++ {
 			r := grp*d.A + c/d.H

@@ -50,12 +50,33 @@ func TestDragonflyEvaluationConfig(t *testing.T) {
 	}
 }
 
+func TestDragonflySingleGroup(t *testing.T) {
+	// groups = 1 is the degenerate machine: one fully connected group,
+	// no global channels.
+	d, err := NewDragonfly(2, 4, 2, 1)
+	if err != nil {
+		t.Fatalf("NewDragonfly(2,4,2,1): %v", err)
+	}
+	if d.Nodes() != 8 || d.Routers() != 4 {
+		t.Errorf("single group: %d nodes, %d routers, want 8 and 4", d.Nodes(), d.Routers())
+	}
+	_, _, global := d.CountChannels()
+	if global != 0 {
+		t.Errorf("single group has %d global channels, want 0", global)
+	}
+	for r := 0; r < d.Routers(); r++ {
+		if got, want := d.Radix(r), d.P+d.A-1; got != want {
+			t.Errorf("router %d radix %d, want %d (no global ports)", r, got, want)
+		}
+	}
+}
+
 func TestDragonflyParameterValidation(t *testing.T) {
 	cases := []struct{ p, a, h, g int }{
 		{0, 4, 2, 0},
 		{2, 0, 2, 0},
 		{2, 4, 0, 0},
-		{2, 4, 2, 1},
+		{2, 4, 2, -1},
 		{2, 4, 2, 10}, // > ah+1 = 9
 		{1, 3, 1, 3},  // a*h=3, g=3: rem = 1 odd with g odd
 	}
