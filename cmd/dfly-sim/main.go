@@ -4,21 +4,31 @@
 // whole latency-load curve instead, fanning the load points over -jobs
 // workers (the results are bit-identical for every worker count).
 //
+// Fault injection: -fail-global fails random global channels (a
+// fraction below 1, a count at or above 1), -fail-routers fails whole
+// routers by id, and -fail-seed picks which channels die. Routing
+// detours around the holes; truly unreachable packets are dropped and
+// reported.
+//
 // Usage:
 //
 //	dfly-sim -alg UGAL-L_VCH -pattern WC -load 0.3 -p 4 -a 8 -h 4 -buf 16
 //	dfly-sim -alg UGAL-L -pattern WC -sweep 0.05:0.5:0.05 -jobs 4
+//	dfly-sim -alg UGAL-L -fail-global 0.1 -fail-seed 7 -sweep 0.1:0.9:0.1
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"dragonfly/internal/core"
+	"dragonfly/internal/fault"
 	"dragonfly/internal/parallel"
 	"dragonfly/internal/sim"
+	"dragonfly/internal/topology"
 )
 
 func main() {
@@ -38,6 +48,10 @@ func main() {
 		hist    = flag.Bool("hist", false, "print the latency histogram")
 		sweep   = flag.String("sweep", "", "run a load sweep from:to:step (e.g. 0.1:0.9:0.1) instead of a single load")
 		jobs    = flag.Int("jobs", 0, "concurrent simulations for -sweep (0 = GOMAXPROCS)")
+
+		failGlobal  = flag.Float64("fail-global", 0, "fail random global channels: a fraction if < 1, a count if >= 1")
+		failRouters = flag.String("fail-routers", "", "fail whole routers: comma-separated router ids")
+		failSeed    = flag.Uint64("fail-seed", 1, "seed for the random fault draws")
 	)
 	flag.Parse()
 
@@ -52,6 +66,10 @@ func main() {
 	sys, err := core.NewSystem(core.SystemConfig{
 		P: *p, A: *a, H: *h, Groups: *groups, BufDepth: *buf, Seed: *seed,
 	})
+	if err != nil {
+		fatal(err)
+	}
+	sys, err = applyFaults(sys, *failGlobal, *failRouters, *failSeed)
 	if err != nil {
 		fatal(err)
 	}
@@ -86,6 +104,9 @@ func main() {
 	fmt.Printf("latency p99:       %.0f cycles (max %.0f)\n", pctl(res), res.Latency.Max())
 	fmt.Printf("saturated:         %v\n", res.Saturated)
 	fmt.Printf("simulated cycles:  %d\n", res.Cycles)
+	if sys.Degraded() != nil {
+		fmt.Printf("dropped packets:   %d (unroutable under the fault plan)\n", res.Dropped)
+	}
 	if *hist && res.Hist != nil {
 		fmt.Println("\nlatency histogram:")
 		buckets := res.Hist.Buckets()
@@ -97,6 +118,46 @@ func main() {
 				int64(i)*res.Hist.Width, (int64(i)+1)*res.Hist.Width-1, c, bar(res.Hist.Fraction(i)))
 		}
 	}
+}
+
+// applyFaults builds a fault plan from the -fail-* flags and attaches it
+// to the system. With no fault flags set the system is returned
+// unchanged (pristine fast paths, bit-identical to earlier versions).
+func applyFaults(sys *core.System, failGlobal float64, failRouters string, failSeed uint64) (*core.System, error) {
+	if failGlobal == 0 && failRouters == "" {
+		return sys, nil
+	}
+	if failGlobal < 0 {
+		return nil, fmt.Errorf("-fail-global %g: want a fraction in [0,1) or a count >= 1", failGlobal)
+	}
+	plan := fault.NewPlan(failSeed)
+	if failRouters != "" {
+		for _, f := range strings.Split(failRouters, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("-fail-routers: bad router id %q: %w", f, err)
+			}
+			if id < 0 || id >= sys.Topo.Routers() {
+				return nil, fmt.Errorf("-fail-routers: router %d out of range [0,%d)", id, sys.Topo.Routers())
+			}
+			plan.FailRouter(id)
+		}
+	}
+	if failGlobal >= 1 {
+		want := int(failGlobal + 0.5)
+		got := plan.FailRandomChannels(sys.Topo, topology.ClassGlobal, want)
+		if got < want {
+			return nil, fmt.Errorf("-fail-global %d: only %d live global channels to fail", want, got)
+		}
+	} else if failGlobal > 0 {
+		plan.FailFraction(sys.Topo, topology.ClassGlobal, failGlobal)
+	}
+	fsys := sys.WithFaults(plan)
+	deg := fsys.Degraded()
+	r, g, l, tm := deg.FaultCounts()
+	fmt.Printf("fault plan (seed %d): %d routers, %d global, %d local, %d terminal channels down; connected=%v, %d/%d terminals alive\n",
+		failSeed, r, g, l, tm, deg.Connected(), deg.AliveTerminals(), sys.Topo.Nodes())
+	return fsys, nil
 }
 
 // runSweep runs a latency-load curve on a worker pool and prints it as
@@ -115,14 +176,24 @@ func runSweep(sys *core.System, alg core.Algorithm, pat core.Pattern, spec strin
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%-10s %12s %12s %10s\n", "load", "latency", "accepted", "saturated")
+	degraded := sys.Degraded() != nil
+	if degraded {
+		fmt.Printf("%-10s %12s %12s %10s %10s\n", "load", "latency", "accepted", "saturated", "dropped")
+	} else {
+		fmt.Printf("%-10s %12s %12s %10s\n", "load", "latency", "accepted", "saturated")
+	}
 	for _, p := range pts {
 		mark := ""
 		if p.Result.Saturated {
 			mark = " *"
 		}
-		fmt.Printf("%-10.3f %12.1f %12.3f %10v%s\n",
-			p.Load, p.Result.Latency.Mean(), p.Result.Accepted, p.Result.Saturated, mark)
+		if degraded {
+			fmt.Printf("%-10.3f %12.1f %12.3f %10v %10d%s\n",
+				p.Load, p.Result.Latency.Mean(), p.Result.Accepted, p.Result.Saturated, p.Result.Dropped, mark)
+		} else {
+			fmt.Printf("%-10.3f %12.1f %12.3f %10v%s\n",
+				p.Load, p.Result.Latency.Mean(), p.Result.Accepted, p.Result.Saturated, mark)
+		}
 	}
 }
 

@@ -94,6 +94,11 @@ type SystemConfig struct {
 	LocalLatency, GlobalLatency int
 	// Seed makes simulations reproducible (default 1).
 	Seed uint64
+	// Faults, when non-nil, is the fault plan (internal/fault.Plan) the
+	// system simulates under: routing and the simulator consume the
+	// degraded topology view instead of the pristine one. Build plans
+	// against an existing system's Topo and attach them with WithFaults.
+	Faults topology.FaultView
 }
 
 // System is a configured dragonfly: topology plus simulation defaults.
@@ -101,6 +106,7 @@ type System struct {
 	// Topo is the constructed dragonfly topology.
 	Topo *topology.Dragonfly
 	cfg  SystemConfig
+	deg  *topology.Degraded
 }
 
 // NewSystem validates the configuration and builds the topology.
@@ -124,7 +130,38 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{Topo: d, cfg: cfg}, nil
+	s := &System{Topo: d, cfg: cfg}
+	if cfg.Faults != nil {
+		s.deg = topology.NewDegraded(d, cfg.Faults)
+	}
+	return s, nil
+}
+
+// WithFaults returns a system sharing this one's topology and defaults
+// but simulating under fault plan fv (nil clears the faults). The usual
+// flow is: build the pristine system, construct a fault.Plan against
+// sys.Topo, then derive the degraded system here.
+func (s *System) WithFaults(fv topology.FaultView) *System {
+	ns := *s
+	ns.cfg.Faults = fv
+	ns.deg = nil
+	if fv != nil {
+		ns.deg = topology.NewDegraded(s.Topo, fv)
+	}
+	return &ns
+}
+
+// Degraded returns the fault-aware topology view, or nil when no fault
+// plan is attached.
+func (s *System) Degraded() *topology.Degraded { return s.deg }
+
+// routingTopo returns the structural view handed to the routing
+// algorithms: the degraded one when a fault plan is attached.
+func (s *System) routingTopo() routing.Topo {
+	if s.deg != nil {
+		return s.deg
+	}
+	return s.Topo
 }
 
 // Config returns the system configuration after defaulting.
@@ -143,23 +180,25 @@ func (s *System) SimConfig(alg Algorithm) sim.Config {
 	}
 }
 
-// Routing constructs the routing algorithm alg over this topology.
+// Routing constructs the routing algorithm alg over this topology (the
+// fault-aware view of it when a fault plan is attached).
 func (s *System) Routing(alg Algorithm) (sim.Routing, error) {
+	t := s.routingTopo()
 	switch alg {
 	case AlgMIN:
-		return routing.NewMIN(s.Topo), nil
+		return routing.NewMIN(t), nil
 	case AlgVAL:
-		return routing.NewVAL(s.Topo), nil
+		return routing.NewVAL(t), nil
 	case AlgUGALL:
-		return routing.NewUGAL(s.Topo, routing.UGALLocal), nil
+		return routing.NewUGAL(t, routing.UGALLocal), nil
 	case AlgUGALG:
-		return routing.NewUGAL(s.Topo, routing.UGALGlobal), nil
+		return routing.NewUGAL(t, routing.UGALGlobal), nil
 	case AlgUGALLVC:
-		return routing.NewUGAL(s.Topo, routing.UGALLocalVC), nil
+		return routing.NewUGAL(t, routing.UGALLocalVC), nil
 	case AlgUGALLVCH:
-		return routing.NewUGAL(s.Topo, routing.UGALLocalVCH), nil
+		return routing.NewUGAL(t, routing.UGALLocalVCH), nil
 	case AlgUGALLCR:
-		return routing.NewUGALCR(s.Topo), nil
+		return routing.NewUGALCR(t), nil
 	default:
 		return nil, fmt.Errorf("core: unknown routing algorithm %q", alg)
 	}
@@ -195,7 +234,11 @@ func (s *System) NewNetwork(alg Algorithm, pattern Pattern) (*sim.Network, error
 	if err != nil {
 		return nil, err
 	}
-	return sim.New(s.Topo, s.SimConfig(alg), rt, tr)
+	var st sim.Topology = s.Topo
+	if s.deg != nil {
+		st = s.deg // the simulator detects Alive and kills the dead links
+	}
+	return sim.New(st, s.SimConfig(alg), rt, tr)
 }
 
 // Run builds a fresh network and executes one measured simulation at the

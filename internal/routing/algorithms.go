@@ -12,15 +12,58 @@ import (
 type MIN struct{ base }
 
 // NewMIN returns minimal routing over d.
-func NewMIN(d Topo) *MIN { return &MIN{base{topo: d}} }
+func NewMIN(d Topo) *MIN { return &MIN{newBase(d)} }
 
 // Name implements sim.Routing.
 func (*MIN) Name() string { return "MIN" }
 
-// Decide implements sim.Routing: always minimal.
-func (m *MIN) Decide(net *sim.Network, r *sim.Router, pkt *sim.Packet) {
+// Decide implements sim.Routing: always minimal on a pristine topology.
+// On a degraded one, a source-destination group pair whose every direct
+// global channel died falls back to a Valiant detour through a live
+// intermediate group (the VC scheme already covers non-minimal paths,
+// so the fallback stays within the deadlock-free ordering); a
+// destination no fallback can reach is reported unroutable.
+func (m *MIN) Decide(net *sim.Network, r *sim.Router, pkt *sim.Packet) error {
+	if m.deg != nil {
+		return m.decideWithFaults(r, pkt, false)
+	}
 	pkt.Minimal = true
 	pkt.InterGroup = -1
+	return nil
+}
+
+// decideWithFaults is the shared minimal-preferred decision under a
+// fault plan: route minimally when a live minimal path exists, detour
+// through a live intermediate group otherwise. forceDetour skips the
+// minimal preference (VAL's behaviour).
+func (b *base) decideWithFaults(r *sim.Router, pkt *sim.Packet, forceDetour bool) error {
+	t := b.topo
+	if b.deg.TerminalDown(pkt.Dst) {
+		return &sim.UnroutableError{Src: pkt.Src, Dst: pkt.Dst, Router: r.ID}
+	}
+	dstR := t.TerminalRouter(pkt.Dst)
+	gs := t.RouterGroup(r.ID)
+	gd := t.RouterGroup(dstR)
+	minFeasible := dstR == r.ID || gs == gd || b.deg.LiveChannels(gs, gd) > 0
+	if minFeasible && (!forceDetour || dstR == r.ID) {
+		pkt.Minimal = true
+		pkt.InterGroup = -1
+		return nil
+	}
+	gi, ok := b.pickLiveInterGroup(gs, gd, pkt.Seed)
+	if ok && gi != gs {
+		pkt.Minimal = false
+		pkt.InterGroup = gi
+		return nil
+	}
+	if minFeasible {
+		// forceDetour with no usable intermediate group (single-group
+		// machine, or faults severed them all): minimal still works.
+		pkt.Minimal = true
+		pkt.InterGroup = -1
+		return nil
+	}
+	return &sim.UnroutableError{Src: pkt.Src, Dst: pkt.Dst, Router: r.ID}
 }
 
 // VAL is Valiant's randomized algorithm applied at the group level
@@ -30,19 +73,23 @@ func (m *MIN) Decide(net *sim.Network, r *sim.Router, pkt *sim.Packet) {
 type VAL struct{ base }
 
 // NewVAL returns Valiant routing over d.
-func NewVAL(d Topo) *VAL { return &VAL{base{topo: d}} }
+func NewVAL(d Topo) *VAL { return &VAL{newBase(d)} }
 
 // Name implements sim.Routing.
 func (*VAL) Name() string { return "VAL" }
 
 // Decide implements sim.Routing: always non-minimal through a random
-// intermediate group.
-func (v *VAL) Decide(net *sim.Network, r *sim.Router, pkt *sim.Packet) {
+// intermediate group. On a degraded topology the intermediate group is
+// drawn among the groups whose detour channels survived.
+func (v *VAL) Decide(net *sim.Network, r *sim.Router, pkt *sim.Packet) error {
+	if v.deg != nil {
+		return v.decideWithFaults(r, pkt, true)
+	}
 	gs := v.topo.RouterGroup(r.ID)
 	if v.topo.TerminalRouter(pkt.Dst) == r.ID {
 		pkt.Minimal = true
 		pkt.InterGroup = -1
-		return
+		return nil
 	}
 	gi := v.pickInterGroup(gs, pkt.Seed)
 	if gi == gs {
@@ -50,10 +97,11 @@ func (v *VAL) Decide(net *sim.Network, r *sim.Router, pkt *sim.Packet) {
 		// "Valiant" path is the minimal one.
 		pkt.Minimal = true
 		pkt.InterGroup = -1
-		return
+		return nil
 	}
 	pkt.Minimal = false
 	pkt.InterGroup = gi
+	return nil
 }
 
 // UGALMode selects the congestion-estimate flavour of UGAL.
@@ -105,14 +153,14 @@ type UGAL struct {
 
 // NewUGAL returns a UGAL router over d with the given mode.
 func NewUGAL(d Topo, mode UGALMode) *UGAL {
-	return &UGAL{base: base{topo: d}, Mode: mode}
+	return &UGAL{base: newBase(d), Mode: mode}
 }
 
 // NewUGALCR returns the UGAL-L_CR configuration: UGAL-L_VCH decisions
 // designed to run with the credit round-trip latency mechanism enabled
 // (sim.Config.DelayCredits = true; see NeedsCreditDelay).
 func NewUGALCR(d Topo) *UGAL {
-	return &UGAL{base: base{topo: d}, Mode: UGALLocalVCH, CreditRT: true}
+	return &UGAL{base: newBase(d), Mode: UGALLocalVCH, CreditRT: true}
 }
 
 // Name implements sim.Routing.
@@ -127,30 +175,73 @@ func (u *UGAL) Name() string {
 // credit mechanism for this algorithm.
 func (u *UGAL) NeedsCreditDelay() bool { return u.CreditRT }
 
-// Decide implements sim.Routing: the source-router adaptive choice.
-func (u *UGAL) Decide(net *sim.Network, r *sim.Router, pkt *sim.Packet) {
+// Decide implements sim.Routing: the source-router adaptive choice. On
+// a degraded topology the minimal and Valiant candidates are restricted
+// to surviving channels; when only one candidate survives it is taken
+// without a queue comparison, and when neither does the packet is
+// unroutable.
+func (u *UGAL) Decide(net *sim.Network, r *sim.Router, pkt *sim.Packet) error {
 	t := u.topo
+	if u.deg != nil && u.deg.TerminalDown(pkt.Dst) {
+		return &sim.UnroutableError{Src: pkt.Src, Dst: pkt.Dst, Router: r.ID}
+	}
 	dstR := t.TerminalRouter(pkt.Dst)
 	if dstR == r.ID {
 		pkt.Minimal = true
 		pkt.InterGroup = -1
-		return
+		return nil
 	}
 	gs := t.RouterGroup(r.ID)
 	gd := t.RouterGroup(dstR)
-	gi := u.pickInterGroup(gs, pkt.Seed)
-	if gi == gs {
-		// Single-group topology: no non-minimal candidate exists.
-		pkt.Minimal = true
-		pkt.InterGroup = -1
-		return
+
+	var gi int
+	if u.deg != nil {
+		minFeasible := gs == gd || u.deg.LiveChannels(gs, gd) > 0
+		var giOK bool
+		gi, giOK = u.pickLiveInterGroup(gs, gd, pkt.Seed)
+		switch {
+		case !minFeasible && !giOK:
+			return &sim.UnroutableError{Src: pkt.Src, Dst: pkt.Dst, Router: r.ID}
+		case !giOK:
+			// No usable intermediate group: minimal without comparison.
+			pkt.Minimal = true
+			pkt.InterGroup = -1
+			return nil
+		case !minFeasible:
+			// Minimal path severed: forced Valiant detour.
+			pkt.Minimal = false
+			pkt.InterGroup = gi
+			return nil
+		}
+	} else {
+		gi = u.pickInterGroup(gs, pkt.Seed)
+		if gi == gs {
+			// Single-group topology: no non-minimal candidate exists.
+			pkt.Minimal = true
+			pkt.InterGroup = -1
+			return nil
+		}
 	}
 
 	hm := u.minimalHops(r.ID, dstR, pkt.Seed)
 	hnm := u.nonminimalHops(r.ID, dstR, gi, pkt.Seed)
 
-	portM, vcM := u.hop(r.ID, dstR, gd, true, pkt.Seed)
-	portNm, vcNm := u.hop(r.ID, dstR, gi, false, pkt.Seed)
+	portM, vcM, errM := u.hop(r.ID, dstR, gd, true, pkt.Seed)
+	portNm, vcNm, errNm := u.hop(r.ID, dstR, gi, false, pkt.Seed)
+	// Either candidate's first hop can be locally severed even when the
+	// group pair keeps live channels; fall back to the other candidate.
+	switch {
+	case errM != nil && errNm != nil:
+		return &sim.UnroutableError{Src: pkt.Src, Dst: pkt.Dst, Router: r.ID}
+	case errM != nil:
+		pkt.Minimal = false
+		pkt.InterGroup = gi
+		return nil
+	case errNm != nil:
+		pkt.Minimal = true
+		pkt.InterGroup = -1
+		return nil
+	}
 
 	var qm, qnm int
 	switch u.Mode {
@@ -175,10 +266,11 @@ func (u *UGAL) Decide(net *sim.Network, r *sim.Router, pkt *sim.Packet) {
 	if qm*hm <= qnm*hnm {
 		pkt.Minimal = true
 		pkt.InterGroup = -1
-		return
+		return nil
 	}
 	pkt.Minimal = false
 	pkt.InterGroup = gi
+	return nil
 }
 
 // globalQueues implements the UGAL-G oracle: the congestion of the two
@@ -190,15 +282,17 @@ func (u *UGAL) globalQueues(net *sim.Network, r *sim.Router, dstR, gs, gd, gi in
 	t := u.topo
 	if gs == gd {
 		qm = r.OutputQueue(portM)
+	} else if slot := u.chooseSlot(gs, gd, seed); slot < 0 {
+		qm = r.OutputQueue(portM) // severed pair: callers never reach here
 	} else {
-		slot := u.chooseSlot(gs, gd, seed)
 		owner := net.RouterAt(t.GroupRouter(gs, t.SlotRouterIndex(slot)))
 		qm = owner.OutputQueue(t.GlobalPort(slot))
 	}
 	if gi == gs {
 		qnm = qm
+	} else if slot := u.chooseSlot(gs, gi, seed); slot < 0 {
+		qnm = r.OutputQueue(portNm)
 	} else {
-		slot := u.chooseSlot(gs, gi, seed)
 		owner := net.RouterAt(t.GroupRouter(gs, t.SlotRouterIndex(slot)))
 		qnm = owner.OutputQueue(t.GlobalPort(slot))
 	}

@@ -69,41 +69,145 @@ type Topo interface {
 	GlobalEntryRouter(grp, dst, slot int) int
 }
 
-// base carries the dragonfly structure all algorithms share.
+// DegradedTopo is the fault-aware structural view the algorithms need
+// on top of Topo. *topology.Degraded implements it; when a topology
+// handed to a constructor satisfies it, the algorithm routes around the
+// dead channels it describes.
+type DegradedTopo interface {
+	Topo
+	// Alive reports whether the channel attached at (router, port) can
+	// carry flits.
+	Alive(router, port int) bool
+	// RouterDown reports that router r failed entirely.
+	RouterDown(r int) bool
+	// TerminalDown reports that terminal t is unreachable.
+	TerminalDown(t int) bool
+	// LiveChannels counts the surviving global channels between two
+	// groups.
+	LiveChannels(ga, gb int) int
+	// LiveGlobalSlot returns the m-th surviving global-channel slot from
+	// grp to dst (m wrapped into the live count), or -1 when none
+	// survive.
+	LiveGlobalSlot(grp, dst, m int) int
+	// RoutersPerGroup returns the group size (for local detours).
+	RoutersPerGroup() int
+}
+
+// base carries the dragonfly structure all algorithms share. deg is
+// non-nil when the topology is a fault-aware degraded view; every
+// structural query then consults channel liveness.
 type base struct {
 	topo Topo
+	deg  DegradedTopo
 }
+
+// newBase wraps t, detecting a degraded (fault-aware) topology.
+func newBase(t Topo) base {
+	b := base{topo: t}
+	if d, ok := t.(DegradedTopo); ok {
+		b.deg = d
+	}
+	return b
+}
+
+// errNoLivePath is the internal marker hop helpers return when the
+// fault plan severed every channel the requested hop could use; callers
+// holding packet context convert it to *sim.UnroutableError.
+var errNoLivePath = &internalNoPathError{}
+
+type internalNoPathError struct{}
+
+func (*internalNoPathError) Error() string { return "routing: no live channel for hop" }
 
 // hop computes the switch request (output port, VC) for a packet at
 // router rID heading for target group tg with destination router dstR.
 // phase1 reports whether tg is the packet's final destination group.
 // seed drives the deterministic choice among parallel global channels,
 // so Decide-time congestion queries inspect exactly the channel NextHop
-// will use.
-func (b *base) hop(rID, dstR, tg int, phase1 bool, seed uint64) (port, vc int) {
+// will use. On a degraded topology it returns errNoLivePath when no
+// live channel can make progress.
+func (b *base) hop(rID, dstR, tg int, phase1 bool, seed uint64) (port, vc int, err error) {
 	t := b.topo
 	cur := t.RouterGroup(rID)
 	idx := t.RouterIndex(rID)
 	if cur == tg {
 		// Local hop(s) inside the destination group (dimension-order for
 		// flattened-butterfly groups, direct otherwise).
-		return t.LocalRoute(idx, t.RouterIndex(dstR)), vcDestHop
+		port, err = b.localPort(rID, t.RouterIndex(dstR), seed)
+		return port, vcDestHop, err
 	}
 	slot := b.chooseSlot(cur, tg, seed)
+	if slot < 0 {
+		return 0, 0, errNoLivePath
+	}
 	level := vcPhase0
 	if phase1 {
 		level = vcPhase1
 	}
 	if t.SlotRouterIndex(slot) == idx {
-		return t.GlobalPort(slot), level
+		return t.GlobalPort(slot), level, nil
 	}
-	return t.LocalRoute(idx, t.SlotRouterIndex(slot)), level
+	port, err = b.localPort(rID, t.SlotRouterIndex(slot), seed)
+	return port, level, err
+}
+
+// localPort returns the local output port from rID toward the router
+// with in-group index toIdx. On a pristine topology this is the direct
+// next hop; on a degraded one, a dead direct channel is detoured
+// through one live intermediate router of the group, chosen
+// deterministically from the packet seed. The detour stays on the same
+// VC — legal here because the fully connected group's local hops are
+// acyclic in the detour's two-hop pattern, though pathological fault
+// plans could in principle defeat the ordering, which is exactly what
+// the stall detector's diagnostic snapshot exists to expose.
+func (b *base) localPort(rID, toIdx int, seed uint64) (int, error) {
+	t := b.topo
+	idx := t.RouterIndex(rID)
+	direct := t.LocalRoute(idx, toIdx)
+	if b.deg == nil || b.deg.Alive(rID, direct) {
+		return direct, nil
+	}
+	grp := t.RouterGroup(rID)
+	a := b.deg.RoutersPerGroup()
+	start := int(sim.Mix(seed^0x94d049bb133111eb) % uint64(a))
+	for i := 0; i < a; i++ {
+		w := start + i
+		if w >= a {
+			w -= a
+		}
+		if w == idx || w == toIdx {
+			continue
+		}
+		first := t.LocalRoute(idx, w)
+		if !b.deg.Alive(rID, first) {
+			continue
+		}
+		if !b.deg.Alive(t.GroupRouter(grp, w), t.LocalRoute(w, toIdx)) {
+			continue
+		}
+		return first, nil
+	}
+	return 0, errNoLivePath
 }
 
 // chooseSlot picks the global-channel slot from group cur to group tg,
 // deterministically per packet, uniformly among the parallel channels of
-// the pair.
+// the pair — on a degraded topology, among the pair's surviving
+// channels (-1 when none survive). With an empty fault plan the live
+// slot list equals the full slot enumeration, so the choice is
+// bit-identical to the pristine one.
 func (b *base) chooseSlot(cur, tg int, seed uint64) int {
+	if b.deg != nil {
+		n := b.deg.LiveChannels(cur, tg)
+		if n == 0 {
+			return -1
+		}
+		m := 0
+		if n > 1 {
+			m = int(sim.Mix(seed+uint64(cur)*0x9e37) % uint64(n))
+		}
+		return b.deg.LiveGlobalSlot(cur, tg, m)
+	}
 	n := b.topo.ChannelsBetween(cur, tg)
 	m := 0
 	if n > 1 {
@@ -113,14 +217,17 @@ func (b *base) chooseSlot(cur, tg int, seed uint64) int {
 }
 
 // NextHop resolves the packet's phase and target group, then computes
-// the hop request. It satisfies sim.Routing for every algorithm.
-func (b *base) NextHop(net *sim.Network, r *sim.Router, pkt *sim.Packet) {
+// the hop request. It satisfies sim.Routing for every algorithm. On a
+// degraded topology it returns a *sim.UnroutableError when the fault
+// plan severed every channel the hop could use; the simulator drops the
+// packet and counts it.
+func (b *base) NextHop(net *sim.Network, r *sim.Router, pkt *sim.Packet) error {
 	t := b.topo
 	dstR := t.TerminalRouter(pkt.Dst)
 	if r.ID == dstR {
 		pkt.NextPort = t.TerminalPort(pkt.Dst)
 		pkt.NextVC = 0
-		return
+		return nil
 	}
 	cur := t.RouterGroup(r.ID)
 	if !pkt.Phase1() && cur == pkt.InterGroup {
@@ -135,7 +242,12 @@ func (b *base) NextHop(net *sim.Network, r *sim.Router, pkt *sim.Packet) {
 		pkt.SetPhase1()
 		tg = t.RouterGroup(dstR)
 	}
-	pkt.NextPort, pkt.NextVC = b.hop(r.ID, dstR, tg, pkt.Phase1(), pkt.Seed)
+	port, vc, err := b.hop(r.ID, dstR, tg, pkt.Phase1(), pkt.Seed)
+	if err != nil {
+		return &sim.UnroutableError{Src: pkt.Src, Dst: pkt.Dst, Router: r.ID}
+	}
+	pkt.NextPort, pkt.NextVC = port, vc
+	return nil
 }
 
 // minimalHops returns H_m: the router-to-router channel count of the
@@ -152,10 +264,17 @@ func (b *base) minimalHops(rID, dstR int, seed uint64) int {
 		return t.LocalHops(t.RouterIndex(rID), t.RouterIndex(dstR))
 	}
 	slot := b.chooseSlot(gs, gd, seed)
+	if slot < 0 {
+		return infeasibleHops // no surviving channel: never preferable
+	}
 	hops := t.LocalHops(t.RouterIndex(rID), t.SlotRouterIndex(slot)) + 1
 	entry := t.GlobalEntryRouter(gs, gd, slot)
 	return hops + t.LocalHops(t.RouterIndex(entry), t.RouterIndex(dstR))
 }
+
+// infeasibleHops is the hop count reported for a path with no surviving
+// channel, large enough that the UGAL product rule never selects it.
+const infeasibleHops = 1 << 20
 
 // nonminimalHops returns H_nm: the channel count of the Valiant path
 // through intermediate group gi, following the same deterministic slot
@@ -167,12 +286,18 @@ func (b *base) nonminimalHops(rID, dstR, gi int, seed uint64) int {
 		return b.minimalHops(rID, dstR, seed)
 	}
 	slot1 := b.chooseSlot(gs, gi, seed)
+	if slot1 < 0 {
+		return infeasibleHops
+	}
 	hops := t.LocalHops(t.RouterIndex(rID), t.SlotRouterIndex(slot1)) + 1
 	rx := t.GlobalEntryRouter(gs, gi, slot1)
 	if gi == gd {
 		return hops + t.LocalHops(t.RouterIndex(rx), t.RouterIndex(dstR))
 	}
 	slot2 := b.chooseSlot(gi, gd, seed)
+	if slot2 < 0 {
+		return infeasibleHops
+	}
 	hops += t.LocalHops(t.RouterIndex(rx), t.SlotRouterIndex(slot2)) + 1
 	entry := t.GlobalEntryRouter(gi, gd, slot2)
 	return hops + t.LocalHops(t.RouterIndex(entry), t.RouterIndex(dstR))
@@ -193,4 +318,45 @@ func (b *base) pickInterGroup(gs int, seed uint64) int {
 		gi++
 	}
 	return gi
+}
+
+// liveInter reports whether gi is a usable Valiant intermediate group
+// for traffic from gs to gd under the fault plan: distinct from the
+// source, reachable from it over a surviving global channel, and with a
+// surviving onward channel to the destination group (trivially true
+// when gi is the destination group itself).
+func (b *base) liveInter(gs, gd, gi int) bool {
+	return gi != gs && b.deg.LiveChannels(gs, gi) > 0 &&
+		(gi == gd || b.deg.LiveChannels(gi, gd) > 0)
+}
+
+// pickLiveInterGroup draws the Valiant intermediate group uniformly
+// among the groups still usable under the fault plan, deterministically
+// per packet. It uses the same seed mixing as pickInterGroup and
+// enumerates candidates in ascending group order, so with an empty
+// fault plan the draw is bit-identical to pickInterGroup. ok is false
+// when no usable intermediate group exists (single-group machine, or
+// the faults severed them all).
+func (b *base) pickLiveInterGroup(gs, gd int, seed uint64) (gi int, ok bool) {
+	g := b.topo.Groups()
+	count := 0
+	for c := 0; c < g; c++ {
+		if b.liveInter(gs, gd, c) {
+			count++
+		}
+	}
+	if count == 0 {
+		return gs, false
+	}
+	want := int(sim.Mix(seed^0xd1b54a32d192ed03) % uint64(count))
+	for c := 0; c < g; c++ {
+		if !b.liveInter(gs, gd, c) {
+			continue
+		}
+		if want == 0 {
+			return c, true
+		}
+		want--
+	}
+	return gs, false // unreachable: count bounded want
 }

@@ -46,8 +46,8 @@ type vcState struct {
 
 func (h *hopRecorder) Name() string { return h.inner.Name() }
 
-func (h *hopRecorder) Decide(net *sim.Network, r *sim.Router, pkt *sim.Packet) {
-	h.inner.Decide(net, r, pkt)
+func (h *hopRecorder) Decide(net *sim.Network, r *sim.Router, pkt *sim.Packet) error {
+	return h.inner.Decide(net, r, pkt)
 }
 
 // classLevel maps a (channel class, VC) pair to its position in the
@@ -60,8 +60,10 @@ func classLevel(c topology.Class, vc int) int {
 	return 2 * vc
 }
 
-func (h *hopRecorder) NextHop(net *sim.Network, r *sim.Router, pkt *sim.Packet) {
-	h.inner.NextHop(net, r, pkt)
+func (h *hopRecorder) NextHop(net *sim.Network, r *sim.Router, pkt *sim.Packet) error {
+	if err := h.inner.NextHop(net, r, pkt); err != nil {
+		return err
+	}
 	classify := h.class
 	if classify == nil {
 		classify = h.topo.PortClass
@@ -69,7 +71,7 @@ func (h *hopRecorder) NextHop(net *sim.Network, r *sim.Router, pkt *sim.Packet) 
 	cls := classify(pkt.NextPort)
 	if cls == topology.ClassTerminal {
 		delete(h.lastVC, pkt.ID)
-		return
+		return nil
 	}
 	cur := vcState{class: cls, vc: pkt.NextVC}
 	if prev, ok := h.lastVC[pkt.ID]; ok {
@@ -84,6 +86,7 @@ func (h *hopRecorder) NextHop(net *sim.Network, r *sim.Router, pkt *sim.Packet) 
 		}
 	}
 	h.lastVC[pkt.ID] = cur
+	return nil
 }
 
 func TestVCLevelsMonotone(t *testing.T) {
@@ -214,7 +217,10 @@ func TestHopCountsMatchPaths(t *testing.T) {
 		hops := 0
 		cur := rs
 		for cur != rd {
-			port, _ := base.hop(cur, rd, d.RouterGroup(rd), true, seed)
+			port, _, err := base.hop(cur, rd, d.RouterGroup(rd), true, seed)
+			if err != nil {
+				return false
+			}
 			pt := d.Port(cur, port)
 			if pt.Class == topology.ClassTerminal {
 				return false

@@ -93,15 +93,20 @@ func (c Config) Validate() error {
 //
 // NextHop must set pkt.NextPort/pkt.NextVC; a NextPort that is a terminal
 // port of the current router ejects the packet.
+//
+// Both methods may return an error wrapping ErrUnroutable when the
+// packet's destination cannot be reached (a fault plan severed every
+// legal path); the simulator then drops the packet, counts it in
+// Result.Dropped, and the run continues. Any other error aborts the run.
 type Routing interface {
 	// Name identifies the algorithm in results and logs.
 	Name() string
 	// Decide makes the source-router adaptive decision (minimal vs.
 	// Valiant, intermediate group) for pkt, which is at router r.
-	Decide(net *Network, r *Router, pkt *Packet)
+	Decide(net *Network, r *Router, pkt *Packet) error
 	// NextHop computes the current hop's output port and VC for pkt
 	// buffered at router r.
-	NextHop(net *Network, r *Router, pkt *Packet)
+	NextHop(net *Network, r *Router, pkt *Packet) error
 }
 
 // Traffic supplies each injected packet's destination terminal.
@@ -124,4 +129,15 @@ type Topology interface {
 	Port(router, port int) topology.Port
 	TerminalRouter(terminal int) int
 	TerminalPort(terminal int) int
+}
+
+// DegradedTopology is the fault-aware wiring view (topology.Degraded
+// implements it): Alive reports whether the channel attached at
+// (router, port) can carry flits. When the topology handed to New
+// implements it, links whose either endpoint is dead carry no flits,
+// and terminals attached to dead ports neither inject nor count in the
+// throughput normalisation.
+type DegradedTopology interface {
+	Topology
+	Alive(router, port int) bool
 }

@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"dragonfly/internal/topology"
 )
@@ -21,6 +23,15 @@ type Network struct {
 	termRNG []rng
 	pool    packetPool
 	nextID  uint64
+
+	// Fault state, populated when the topology implements
+	// DegradedTopology: terminals attached to dead ports or dead routers
+	// neither inject nor count toward throughput normalisation, and
+	// dropped counts packets abandoned because routing found no live
+	// path (errors wrapping ErrUnroutable).
+	termAlive  []bool
+	aliveTerms int
+	dropped    int64
 
 	// Injection control.
 	load float64
@@ -100,6 +111,25 @@ func New(topo Topology, cfg Config, routing Routing, traffic Traffic) (*Network,
 	for t := range n.termRNG {
 		n.termRNG[t] = newRNG(cfg.Seed, uint64(t))
 	}
+	n.termAlive = make([]bool, topo.Terminals())
+	for t := range n.termAlive {
+		n.termAlive[t] = true
+	}
+	n.aliveTerms = topo.Terminals()
+	if deg, ok := topo.(DegradedTopology); ok {
+		for _, l := range n.links {
+			l.dead = !deg.Alive(l.src, l.srcPort)
+		}
+		for t := 0; t < topo.Terminals(); t++ {
+			if !deg.Alive(topo.TerminalRouter(t), topo.TerminalPort(t)) {
+				n.termAlive[t] = false
+				n.aliveTerms--
+			}
+		}
+		if n.aliveTerms == 0 {
+			return nil, fmt.Errorf("sim: fault plan leaves no live terminals")
+		}
+	}
 	return n, nil
 }
 
@@ -148,26 +178,42 @@ func (n *Network) ChannelBusy(router, port int) int64 {
 // InFlight returns the number of packets buffered or on channels.
 func (n *Network) InFlight() int { return n.inFlight }
 
+// Dropped returns the number of packets abandoned because routing found
+// no live path (fault plans only; always 0 on a pristine topology).
+func (n *Network) Dropped() int64 { return n.dropped }
+
+// AliveTerminals returns the number of terminals that can inject and
+// eject under the current fault plan.
+func (n *Network) AliveTerminals() int { return n.aliveTerms }
+
 // Step advances the simulation one cycle: deliver flits and credits that
 // completed their channel latency, inject new packets, make the
 // source-queue routing decisions, eject arrived packets, and forward one
-// flit per output channel on every router.
-func (n *Network) Step() {
+// flit per output channel on every router. It returns a non-nil error —
+// an *InvariantError or an aborting routing error — only when the
+// network state can no longer be trusted; unroutable packets are dropped
+// and counted, not errors.
+func (n *Network) Step() error {
 	n.now++
-	n.deliver()
+	if err := n.deliver(); err != nil {
+		return err
+	}
 	n.inject()
 	for _, r := range n.routers {
-		n.admitSources(r)
+		if err := n.admitSources(r); err != nil {
+			return err
+		}
 		n.eject(r)
 		n.transfer(r)
 		n.allocate(r)
 	}
+	return nil
 }
 
 // deliver moves flits and credits whose latency elapsed into their
 // destination routers. Delivered flits are routed immediately and placed
 // in the virtual output queue of their next hop.
-func (n *Network) deliver() {
+func (n *Network) deliver() error {
 	for _, l := range n.links {
 		for {
 			f := l.flits.peek()
@@ -178,14 +224,20 @@ func (n *Network) deliver() {
 			rt := n.routers[l.dst]
 			occ := &rt.inOcc[l.dstPort][e.vc]
 			if *occ >= rt.depth {
-				panic(fmt.Sprintf("sim: buffer overflow at router %d port %d vc %d (flow-control bug)", l.dst, l.dstPort, e.vc))
+				return &InvariantError{Kind: "buffer overflow", Router: l.dst, Port: l.dstPort, VC: int(e.vc), Cycle: n.now}
 			}
 			*occ++
 			e.pkt.InPort = l.dstPort
 			e.pkt.BufVC = int(e.vc)
 			e.pkt.hops++
 			e.pkt.arrive = n.now
-			n.routing.NextHop(n, rt, e.pkt)
+			if err := n.routing.NextHop(n, rt, e.pkt); err != nil {
+				if errors.Is(err, ErrUnroutable) {
+					n.drop(rt, e.pkt)
+					continue
+				}
+				return err
+			}
 			rt.waitQ[e.pkt.NextPort][e.pkt.NextVC].push(e.pkt)
 		}
 		for {
@@ -197,7 +249,7 @@ func (n *Network) deliver() {
 			rt := n.routers[l.src]
 			rt.credits[l.srcPort][e.vc]++
 			if rt.credits[l.srcPort][e.vc] > rt.depth {
-				panic(fmt.Sprintf("sim: credit overflow at router %d port %d vc %d", l.src, l.srcPort, e.vc))
+				return &InvariantError{Kind: "credit overflow", Router: l.src, Port: l.srcPort, VC: int(e.vc), Cycle: n.now}
 			}
 			// Credit round-trip measurement (Figure 17(b)): pop the send
 			// timestamp and refresh t_d for this output.
@@ -212,6 +264,26 @@ func (n *Network) deliver() {
 			}
 		}
 	}
+	return nil
+}
+
+// drop abandons a packet that routing declared unroutable at router r:
+// its input-buffer slot is freed, the credit returned upstream (plain,
+// without the congestion delay — pkt.NextPort is not meaningful for an
+// unrouted packet), and the packet is counted in Dropped. Dropping is
+// forward progress: it resets the stall detector like any flit movement.
+func (n *Network) drop(r *Router, pkt *Packet) {
+	r.inOcc[pkt.InPort][pkt.BufVC]--
+	if up := r.inLink[pkt.InPort]; up != nil {
+		up.credits.push(uint8(pkt.BufVC), n.now+up.latency)
+	}
+	if pkt.Measured {
+		n.outstanding--
+	}
+	n.inFlight--
+	n.dropped++
+	n.lastMove = n.now
+	n.pool.put(pkt)
 }
 
 // inject performs the Bernoulli injection process at every terminal.
@@ -223,6 +295,9 @@ func (n *Network) inject() {
 		r := &n.termRNG[t]
 		if r.Float64() >= n.load {
 			continue
+		}
+		if !n.termAlive[t] {
+			continue // dead terminal: draws consumed, nothing injected
 		}
 		p := n.pool.get()
 		p.ID = n.nextID
@@ -251,7 +326,7 @@ func (n *Network) inject() {
 // channel bandwidth), making the source-router routing decision at that
 // moment. Admission requires a free input slot, so source queues feel
 // the router's backpressure like any upstream channel.
-func (n *Network) admitSources(r *Router) {
+func (n *Network) admitSources(r *Router) error {
 	for p := 0; p < r.radix; p++ {
 		if !r.isTerm[p] {
 			continue
@@ -267,13 +342,26 @@ func (n *Network) admitSources(r *Router) {
 		head.InjectTime = n.now
 		head.arrive = n.now
 		head.Decided = true
-		n.routing.Decide(n, r, head)
+		if err := n.routing.Decide(n, r, head); err != nil {
+			if errors.Is(err, ErrUnroutable) {
+				n.drop(r, head)
+				continue
+			}
+			return err
+		}
 		if head.Minimal {
 			head.SetPhase1()
 		}
-		n.routing.NextHop(n, r, head)
+		if err := n.routing.NextHop(n, r, head); err != nil {
+			if errors.Is(err, ErrUnroutable) {
+				n.drop(r, head)
+				continue
+			}
+			return err
+		}
 		r.waitQ[head.NextPort][head.NextVC].push(head)
 	}
+	return nil
 }
 
 // eject drains every flit queued for a terminal output. Ejection
@@ -374,6 +462,9 @@ func (n *Network) allocate(r *Router) {
 		if l == nil {
 			continue // terminal outputs are handled by eject
 		}
+		if l.dead {
+			continue // failed channel: carries no flits
+		}
 		start := r.outRR[out]
 		for i := 0; i < r.vcs; i++ {
 			vc := start + i
@@ -399,6 +490,53 @@ func (n *Network) allocate(r *Router) {
 			break
 		}
 	}
+}
+
+// stallError builds the deadlock-detector diagnostic: which phase
+// tripped it, how many packets are wedged, and the most occupied
+// input-buffer VCs (the likely deadlock participants).
+func (n *Network) stallError(phase Phase, limit int64) *StallError {
+	e := &StallError{
+		Phase:      phase,
+		Cycle:      n.now,
+		StallLimit: limit,
+		InFlight:   n.inFlight,
+	}
+	for _, r := range n.routers {
+		for p := 0; p < r.radix; p++ {
+			for vc := 0; vc < r.vcs; vc++ {
+				occ := r.inOcc[p][vc]
+				if occ == 0 {
+					continue
+				}
+				waiting := 0
+				for wvc := 0; wvc < r.vcs; wvc++ {
+					waiting += r.waitQ[p][wvc].len()
+					if r.outLink[p] != nil {
+						waiting += r.outQ[p][wvc].len()
+					}
+				}
+				e.Hot = append(e.Hot, HotVC{Router: r.ID, Port: p, VC: vc, Occupancy: occ, Waiting: waiting})
+			}
+		}
+	}
+	sort.Slice(e.Hot, func(i, j int) bool {
+		if e.Hot[i].Occupancy != e.Hot[j].Occupancy {
+			return e.Hot[i].Occupancy > e.Hot[j].Occupancy
+		}
+		if e.Hot[i].Router != e.Hot[j].Router {
+			return e.Hot[i].Router < e.Hot[j].Router
+		}
+		if e.Hot[i].Port != e.Hot[j].Port {
+			return e.Hot[i].Port < e.Hot[j].Port
+		}
+		return e.Hot[i].VC < e.Hot[j].VC
+	})
+	const keep = 5
+	if len(e.Hot) > keep {
+		e.Hot = e.Hot[:keep:keep]
+	}
+	return e
 }
 
 // TotalSourceBacklog sums the source-queue lengths across all terminals,

@@ -11,8 +11,11 @@ type link struct {
 	dst, dstPort int
 	latency      int64
 	global       bool
-	flits        flitQueue
-	credits      creditQueue
+	// dead marks a channel severed by a fault plan: the allocator never
+	// forwards a flit onto it, so it carries nothing for the whole run.
+	dead    bool
+	flits   flitQueue
+	credits creditQueue
 }
 
 // Router holds the per-router simulation state.

@@ -56,6 +56,15 @@ type Result struct {
 	// DrainTimeout reports that tagged packets were still in flight when
 	// the drain cap was reached — the usual saturation signature.
 	DrainTimeout bool
+	// Dropped is the number of packets abandoned during this run because
+	// routing found no live path under the active fault plan (errors
+	// wrapping ErrUnroutable). Always 0 on a pristine or still-connected
+	// topology.
+	Dropped int64
+	// AliveTerminals is the number of terminals injecting under the
+	// active fault plan; Accepted is normalised by it, so a degraded
+	// network is judged on the capacity it still has.
+	AliveTerminals int
 }
 
 // Run executes the full warm-up/measure/drain sequence on net and
@@ -122,16 +131,32 @@ func Run(net *Network, rc RunConfig) (Result, error) {
 	}()
 
 	net.SetLoad(rc.Load)
+	dropped0 := net.dropped
+	res.AliveTerminals = net.aliveTerms
 	stalled := func() bool {
 		return net.inFlight > 0 && net.now-net.lastMove > rc.StallLimit
 	}
+	// phase runs one simulation phase for up to limit cycles, stopping
+	// early when stop says so, and converts detector trips and Step
+	// failures into phase-tagged errors.
+	phase := func(ph Phase, limit int, stop func() bool) error {
+		for i := 0; i < limit; i++ {
+			if stop != nil && stop() {
+				return nil
+			}
+			if err := net.Step(); err != nil {
+				return fmt.Errorf("sim: %s phase: %w", ph, err)
+			}
+			if stalled() {
+				return net.stallError(ph, rc.StallLimit)
+			}
+		}
+		return nil
+	}
 
 	// Warm-up.
-	for i := 0; i < rc.WarmupCycles; i++ {
-		net.Step()
-		if stalled() {
-			return res, fmt.Errorf("sim: no flit moved for %d cycles during warm-up (deadlock?) at cycle %d", rc.StallLimit, net.now)
-		}
+	if err := phase(PhaseWarmup, rc.WarmupCycles, nil); err != nil {
+		return res, err
 	}
 
 	// Measurement.
@@ -142,32 +167,25 @@ func Run(net *Network, rc RunConfig) (Result, error) {
 	net.measuring = true
 	net.countWindow = true
 	net.injectedWindow, net.ejectedWindow = 0, 0
-	for i := 0; i < rc.MeasureCycles; i++ {
-		net.Step()
-		if stalled() {
-			return res, fmt.Errorf("sim: no flit moved for %d cycles during measurement (deadlock?) at cycle %d", rc.StallLimit, net.now)
-		}
+	if err := phase(PhaseMeasure, rc.MeasureCycles, nil); err != nil {
+		return res, err
 	}
 	net.measuring = false
 	net.countWindow = false
-	res.Accepted = float64(net.ejectedWindow) / (float64(net.topo.Terminals()) * float64(rc.MeasureCycles))
+	res.Accepted = float64(net.ejectedWindow) / (float64(net.aliveTerms) * float64(rc.MeasureCycles))
 
 	// Drain every tagged packet.
-	for i := 0; net.outstanding > 0; i++ {
-		if i >= rc.DrainCycles {
-			res.DrainTimeout = true
-			break
-		}
-		net.Step()
-		if stalled() {
-			return res, fmt.Errorf("sim: no flit moved for %d cycles during drain (deadlock?) at cycle %d", rc.StallLimit, net.now)
-		}
+	drained := func() bool { return net.outstanding <= 0 }
+	if err := phase(PhaseDrain, rc.DrainCycles, drained); err != nil {
+		return res, err
 	}
+	res.DrainTimeout = !drained()
 
 	if totalCount > 0 {
 		res.MinimalFraction = float64(minCount) / float64(totalCount)
 	}
 	res.Cycles = net.now
+	res.Dropped = net.dropped - dropped0
 	res.Saturated = res.DrainTimeout || res.Accepted < rc.Load*0.95
 	return res, nil
 }

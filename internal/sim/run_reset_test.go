@@ -12,18 +12,19 @@ import (
 // and credits exhaust and the stall detector fires.
 type loopRouting struct{}
 
-func (loopRouting) Name() string                      { return "loop" }
-func (loopRouting) Decide(*Network, *Router, *Packet) {}
-func (loopRouting) NextHop(_ *Network, _ *Router, pkt *Packet) {
+func (loopRouting) Name() string                            { return "loop" }
+func (loopRouting) Decide(*Network, *Router, *Packet) error { return nil }
+func (loopRouting) NextHop(_ *Network, _ *Router, pkt *Packet) error {
 	pkt.NextPort = 1 // the single local port of a p=1, a=2 router
 	pkt.NextVC = 0
+	return nil
 }
 
 // ringTraffic sends every packet to the next terminal (it is never
 // delivered; loopRouting discards the destination).
 type ringTraffic struct{ n int }
 
-func (ringTraffic) Name() string               { return "ring" }
+func (ringTraffic) Name() string                 { return "ring" }
 func (r ringTraffic) Dest(src int, _ uint64) int { return (src + 1) % r.n }
 
 func wedgedNetwork(t *testing.T) *Network {

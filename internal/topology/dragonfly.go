@@ -297,6 +297,10 @@ func (d *Dragonfly) Groups() int { return d.G }
 // group (a·p).
 func (d *Dragonfly) TerminalsPerGroup() int { return d.A * d.P }
 
+// RoutersPerGroup returns the group size (interface form of the A
+// field, for consumers holding only the routing-facing view).
+func (d *Dragonfly) RoutersPerGroup() int { return d.A }
+
 // LocalRoute returns the next-hop local port on the router with in-group
 // index from towards the router with in-group index to. The canonical
 // dragonfly group is fully connected, so the next hop is the direct
