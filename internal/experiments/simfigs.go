@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dragonfly/internal/core"
+	"dragonfly/internal/metrics"
 	"dragonfly/internal/sim"
 )
 
@@ -144,14 +145,15 @@ func Fig09(s Scale) (*Figure, error) {
 		ser := Series{Name: string(alg)}
 		s.Pool().Work(func() {
 			net.SetLoad(0.2)
-			net.EnableUtilization()
 			for i := 0; i < s.Warmup; i++ {
 				net.Step()
 			}
-			net.ResetUtilization()
+			util := metrics.NewChannelUtil(net.NumLinks())
+			net.AttachMetrics(util)
 			for i := 0; i < s.Measure; i++ {
 				net.Step()
 			}
+			net.AttachMetrics(nil)
 			// Slot c of every group leads to group (g+1+c mod (g-1)); slot 0
 			// is the minimal channel for the WC pattern. Average per slot
 			// across groups.
@@ -160,7 +162,7 @@ func Fig09(s Scale) (*Figure, error) {
 				var busy int64
 				for grp := 0; grp < d.G; grp++ {
 					r := d.GroupRouter(grp, d.SlotRouterIndex(c))
-					busy += net.ChannelBusy(r, d.GlobalPort(c))
+					busy += util.Busy(net.LinkID(r, d.GlobalPort(c)))
 				}
 				ser.X = append(ser.X, float64(c))
 				ser.Y = append(ser.Y, float64(busy)/float64(d.G)/float64(s.Measure))

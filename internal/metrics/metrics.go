@@ -1,0 +1,188 @@
+// Package metrics is the simulator's instrumentation layer: a small
+// event interface the cycle engine emits into, with implementations
+// that aggregate per-channel utilization, input-buffer VC occupancy
+// histograms, credit round-trip samples and drop/stall counters.
+//
+// The layer is designed to cost nothing when unused. The simulator
+// holds a Collector interface value that is nil in the common case, and
+// every emission site in the hot loop is guarded by a single nil check
+// — a plain simulation pays one untaken branch per event site and no
+// interface call, no allocation, no counter write. Attaching a
+// collector (Network.AttachMetrics) switches the events on for exactly
+// as long as it stays attached.
+package metrics
+
+// Collector receives instrumentation events from the cycle engine.
+// Implementations must not retain references into simulator state and
+// must be cheap: events fire from the hot loop, once per flit or
+// credit. A nil Collector is the zero-cost "off" state; use Multi to
+// fan events out to several collectors.
+type Collector interface {
+	// ChannelFlit records one flit forwarded onto the channel with the
+	// given link id (Network.LinkID maps (router, port) to link ids).
+	ChannelFlit(link int)
+	// VCOccupancy records the occupancy of input buffer (router, port,
+	// vc) right after a flit was delivered into it.
+	VCOccupancy(router, port, vc, occupancy int)
+	// CreditRTT records one measured credit round-trip time on output
+	// (router, port): the cycles from flit departure to credit return.
+	CreditRTT(router, port int, rtt int64)
+	// Drop records a packet dropped as unroutable at the given router.
+	Drop(router int)
+	// Stall records a deadlock-detector trip at the given cycle.
+	Stall(cycle int64)
+}
+
+// ChannelUtil counts flits per channel, the measurement behind the
+// paper's Figure 9 (per-channel utilization). Only ChannelFlit is
+// active; every other event is a no-op.
+type ChannelUtil struct {
+	busy   []int64
+	window int64
+}
+
+// NewChannelUtil returns a counter set for a network with the given
+// number of links (Network.NumLinks).
+func NewChannelUtil(links int) *ChannelUtil {
+	return &ChannelUtil{busy: make([]int64, links)}
+}
+
+// ChannelFlit implements Collector.
+func (u *ChannelUtil) ChannelFlit(link int) { u.busy[link]++ }
+
+// VCOccupancy implements Collector (no-op).
+func (u *ChannelUtil) VCOccupancy(int, int, int, int) {}
+
+// CreditRTT implements Collector (no-op).
+func (u *ChannelUtil) CreditRTT(int, int, int64) {}
+
+// Drop implements Collector (no-op).
+func (u *ChannelUtil) Drop(int) {}
+
+// Stall implements Collector (no-op).
+func (u *ChannelUtil) Stall(int64) {}
+
+// Busy returns the flit count recorded on link id since the last Reset.
+func (u *ChannelUtil) Busy(link int) int64 { return u.busy[link] }
+
+// Links returns the number of tracked channels.
+func (u *ChannelUtil) Links() int { return len(u.busy) }
+
+// Reset clears all counters.
+func (u *ChannelUtil) Reset() {
+	for i := range u.busy {
+		u.busy[i] = 0
+	}
+	u.window = 0
+}
+
+// SetWindow records the measurement window length used to normalise
+// Utilization.
+func (u *ChannelUtil) SetWindow(cycles int64) { u.window = cycles }
+
+// Utilization returns Busy(link) divided by the recorded window, or 0
+// when no window was set.
+func (u *ChannelUtil) Utilization(link int) float64 {
+	if u.window <= 0 {
+		return 0
+	}
+	return float64(u.busy[link]) / float64(u.window)
+}
+
+// Full aggregates every event the engine emits: channel counters, an
+// input-buffer VC occupancy histogram, credit round-trip statistics and
+// drop/stall counts. It is the "turn everything on" collector used by
+// diagnostics; sweeps that only need one signal should attach the
+// narrower collector instead.
+type Full struct {
+	// Channels is the per-link flit counter (nil until the first event
+	// if constructed with zero links — use NewFull).
+	Channels *ChannelUtil
+	// VCHist[occ] counts deliveries that found their input VC at
+	// occupancy occ (post-increment); the histogram of the paper's
+	// buffer-depth discussion. Grows on demand.
+	VCHist []int64
+	// RTT aggregates credit round-trip samples.
+	RTTCount, RTTSum, RTTMax int64
+	// Drops counts packets dropped as unroutable; Stalls counts
+	// deadlock-detector trips.
+	Drops, Stalls int64
+}
+
+// NewFull returns a Full collector for a network with the given number
+// of links.
+func NewFull(links int) *Full {
+	return &Full{Channels: NewChannelUtil(links)}
+}
+
+// ChannelFlit implements Collector.
+func (f *Full) ChannelFlit(link int) { f.Channels.busy[link]++ }
+
+// VCOccupancy implements Collector.
+func (f *Full) VCOccupancy(_, _, _, occupancy int) {
+	for occupancy >= len(f.VCHist) {
+		f.VCHist = append(f.VCHist, 0)
+	}
+	f.VCHist[occupancy]++
+}
+
+// CreditRTT implements Collector.
+func (f *Full) CreditRTT(_, _ int, rtt int64) {
+	f.RTTCount++
+	f.RTTSum += rtt
+	if rtt > f.RTTMax {
+		f.RTTMax = rtt
+	}
+}
+
+// Drop implements Collector.
+func (f *Full) Drop(int) { f.Drops++ }
+
+// Stall implements Collector.
+func (f *Full) Stall(int64) { f.Stalls++ }
+
+// RTTMean returns the average credit round-trip sample, 0 if none.
+func (f *Full) RTTMean() float64 {
+	if f.RTTCount == 0 {
+		return 0
+	}
+	return float64(f.RTTSum) / float64(f.RTTCount)
+}
+
+// Multi fans every event out to all collectors in order.
+type Multi []Collector
+
+// ChannelFlit implements Collector.
+func (m Multi) ChannelFlit(link int) {
+	for _, c := range m {
+		c.ChannelFlit(link)
+	}
+}
+
+// VCOccupancy implements Collector.
+func (m Multi) VCOccupancy(router, port, vc, occupancy int) {
+	for _, c := range m {
+		c.VCOccupancy(router, port, vc, occupancy)
+	}
+}
+
+// CreditRTT implements Collector.
+func (m Multi) CreditRTT(router, port int, rtt int64) {
+	for _, c := range m {
+		c.CreditRTT(router, port, rtt)
+	}
+}
+
+// Drop implements Collector.
+func (m Multi) Drop(router int) {
+	for _, c := range m {
+		c.Drop(router)
+	}
+}
+
+// Stall implements Collector.
+func (m Multi) Stall(cycle int64) {
+	for _, c := range m {
+		c.Stall(cycle)
+	}
+}

@@ -1,0 +1,78 @@
+package metrics
+
+import "testing"
+
+func TestChannelUtil(t *testing.T) {
+	u := NewChannelUtil(4)
+	if u.Links() != 4 {
+		t.Fatalf("Links = %d, want 4", u.Links())
+	}
+	u.ChannelFlit(1)
+	u.ChannelFlit(1)
+	u.ChannelFlit(3)
+	if u.Busy(1) != 2 || u.Busy(3) != 1 || u.Busy(0) != 0 {
+		t.Errorf("busy counts wrong: %d %d %d", u.Busy(0), u.Busy(1), u.Busy(3))
+	}
+	u.SetWindow(4)
+	if got := u.Utilization(1); got != 0.5 {
+		t.Errorf("Utilization(1) = %v, want 0.5", got)
+	}
+	u.Reset()
+	if u.Busy(1) != 0 || u.Utilization(1) != 0 {
+		t.Error("Reset did not clear counters and window")
+	}
+	// The narrow collector ignores every other event.
+	u.VCOccupancy(0, 0, 0, 5)
+	u.CreditRTT(0, 0, 10)
+	u.Drop(0)
+	u.Stall(1)
+}
+
+func TestFullCollector(t *testing.T) {
+	f := NewFull(2)
+	f.ChannelFlit(0)
+	f.VCOccupancy(1, 2, 0, 3)
+	f.VCOccupancy(1, 2, 0, 1)
+	f.CreditRTT(0, 1, 10)
+	f.CreditRTT(0, 1, 30)
+	f.Drop(5)
+	f.Stall(100)
+	if f.Channels.Busy(0) != 1 {
+		t.Error("channel count not recorded")
+	}
+	if len(f.VCHist) != 4 || f.VCHist[3] != 1 || f.VCHist[1] != 1 {
+		t.Errorf("VC histogram wrong: %v", f.VCHist)
+	}
+	if f.RTTCount != 2 || f.RTTSum != 40 || f.RTTMax != 30 {
+		t.Errorf("RTT aggregates wrong: n=%d sum=%d max=%d", f.RTTCount, f.RTTSum, f.RTTMax)
+	}
+	if f.RTTMean() != 20 {
+		t.Errorf("RTTMean = %v, want 20", f.RTTMean())
+	}
+	if f.Drops != 1 || f.Stalls != 1 {
+		t.Errorf("drop/stall counters wrong: %d %d", f.Drops, f.Stalls)
+	}
+}
+
+func TestRTTMeanEmpty(t *testing.T) {
+	var f Full
+	if f.RTTMean() != 0 {
+		t.Error("RTTMean on empty collector should be 0")
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a := NewFull(2)
+	b := NewFull(2)
+	m := Multi{a, b}
+	m.ChannelFlit(1)
+	m.VCOccupancy(0, 1, 2, 3)
+	m.CreditRTT(0, 0, 7)
+	m.Drop(1)
+	m.Stall(9)
+	for i, f := range []*Full{a, b} {
+		if f.Channels.Busy(1) != 1 || f.RTTCount != 1 || f.Drops != 1 || f.Stalls != 1 || len(f.VCHist) != 4 {
+			t.Errorf("collector %d missed events", i)
+		}
+	}
+}

@@ -23,12 +23,12 @@ func (*MIN) Name() string { return "MIN" }
 // intermediate group (the VC scheme already covers non-minimal paths,
 // so the fallback stays within the deadlock-free ordering); a
 // destination no fallback can reach is reported unroutable.
-func (m *MIN) Decide(net *sim.Network, r *sim.Router, pkt *sim.Packet) error {
+func (m *MIN) Decide(net *sim.Network, r *sim.Router, hs *sim.HopState) error {
 	if m.deg != nil {
-		return m.decideWithFaults(r, pkt, false)
+		return m.decideWithFaults(r, hs, false)
 	}
-	pkt.Minimal = true
-	pkt.InterGroup = -1
+	hs.Minimal = true
+	hs.InterGroup = -1
 	return nil
 }
 
@@ -36,34 +36,34 @@ func (m *MIN) Decide(net *sim.Network, r *sim.Router, pkt *sim.Packet) error {
 // fault plan: route minimally when a live minimal path exists, detour
 // through a live intermediate group otherwise. forceDetour skips the
 // minimal preference (VAL's behaviour).
-func (b *base) decideWithFaults(r *sim.Router, pkt *sim.Packet, forceDetour bool) error {
+func (b *base) decideWithFaults(r *sim.Router, hs *sim.HopState, forceDetour bool) error {
 	t := b.topo
-	if b.deg.TerminalDown(pkt.Dst) {
-		return &sim.UnroutableError{Src: pkt.Src, Dst: pkt.Dst, Router: r.ID}
+	if b.deg.TerminalDown(hs.Dst) {
+		return &sim.UnroutableError{Src: hs.Src, Dst: hs.Dst, Router: r.ID}
 	}
-	dstR := t.TerminalRouter(pkt.Dst)
+	dstR := t.TerminalRouter(hs.Dst)
 	gs := t.RouterGroup(r.ID)
 	gd := t.RouterGroup(dstR)
 	minFeasible := dstR == r.ID || gs == gd || b.deg.LiveChannels(gs, gd) > 0
 	if minFeasible && (!forceDetour || dstR == r.ID) {
-		pkt.Minimal = true
-		pkt.InterGroup = -1
+		hs.Minimal = true
+		hs.InterGroup = -1
 		return nil
 	}
-	gi, ok := b.pickLiveInterGroup(gs, gd, pkt.Seed)
+	gi, ok := b.pickLiveInterGroup(gs, gd, hs.Seed)
 	if ok && gi != gs {
-		pkt.Minimal = false
-		pkt.InterGroup = gi
+		hs.Minimal = false
+		hs.InterGroup = gi
 		return nil
 	}
 	if minFeasible {
 		// forceDetour with no usable intermediate group (single-group
 		// machine, or faults severed them all): minimal still works.
-		pkt.Minimal = true
-		pkt.InterGroup = -1
+		hs.Minimal = true
+		hs.InterGroup = -1
 		return nil
 	}
-	return &sim.UnroutableError{Src: pkt.Src, Dst: pkt.Dst, Router: r.ID}
+	return &sim.UnroutableError{Src: hs.Src, Dst: hs.Dst, Router: r.ID}
 }
 
 // VAL is Valiant's randomized algorithm applied at the group level
@@ -81,26 +81,26 @@ func (*VAL) Name() string { return "VAL" }
 // Decide implements sim.Routing: always non-minimal through a random
 // intermediate group. On a degraded topology the intermediate group is
 // drawn among the groups whose detour channels survived.
-func (v *VAL) Decide(net *sim.Network, r *sim.Router, pkt *sim.Packet) error {
+func (v *VAL) Decide(net *sim.Network, r *sim.Router, hs *sim.HopState) error {
 	if v.deg != nil {
-		return v.decideWithFaults(r, pkt, true)
+		return v.decideWithFaults(r, hs, true)
 	}
 	gs := v.topo.RouterGroup(r.ID)
-	if v.topo.TerminalRouter(pkt.Dst) == r.ID {
-		pkt.Minimal = true
-		pkt.InterGroup = -1
+	if v.topo.TerminalRouter(hs.Dst) == r.ID {
+		hs.Minimal = true
+		hs.InterGroup = -1
 		return nil
 	}
-	gi := v.pickInterGroup(gs, pkt.Seed)
+	gi := v.pickInterGroup(gs, hs.Seed)
 	if gi == gs {
 		// Single-group topology: no intermediate group exists, so the
 		// "Valiant" path is the minimal one.
-		pkt.Minimal = true
-		pkt.InterGroup = -1
+		hs.Minimal = true
+		hs.InterGroup = -1
 		return nil
 	}
-	pkt.Minimal = false
-	pkt.InterGroup = gi
+	hs.Minimal = false
+	hs.InterGroup = gi
 	return nil
 }
 
@@ -180,15 +180,15 @@ func (u *UGAL) NeedsCreditDelay() bool { return u.CreditRT }
 // to surviving channels; when only one candidate survives it is taken
 // without a queue comparison, and when neither does the packet is
 // unroutable.
-func (u *UGAL) Decide(net *sim.Network, r *sim.Router, pkt *sim.Packet) error {
+func (u *UGAL) Decide(net *sim.Network, r *sim.Router, hs *sim.HopState) error {
 	t := u.topo
-	if u.deg != nil && u.deg.TerminalDown(pkt.Dst) {
-		return &sim.UnroutableError{Src: pkt.Src, Dst: pkt.Dst, Router: r.ID}
+	if u.deg != nil && u.deg.TerminalDown(hs.Dst) {
+		return &sim.UnroutableError{Src: hs.Src, Dst: hs.Dst, Router: r.ID}
 	}
-	dstR := t.TerminalRouter(pkt.Dst)
+	dstR := t.TerminalRouter(hs.Dst)
 	if dstR == r.ID {
-		pkt.Minimal = true
-		pkt.InterGroup = -1
+		hs.Minimal = true
+		hs.InterGroup = -1
 		return nil
 	}
 	gs := t.RouterGroup(r.ID)
@@ -198,48 +198,48 @@ func (u *UGAL) Decide(net *sim.Network, r *sim.Router, pkt *sim.Packet) error {
 	if u.deg != nil {
 		minFeasible := gs == gd || u.deg.LiveChannels(gs, gd) > 0
 		var giOK bool
-		gi, giOK = u.pickLiveInterGroup(gs, gd, pkt.Seed)
+		gi, giOK = u.pickLiveInterGroup(gs, gd, hs.Seed)
 		switch {
 		case !minFeasible && !giOK:
-			return &sim.UnroutableError{Src: pkt.Src, Dst: pkt.Dst, Router: r.ID}
+			return &sim.UnroutableError{Src: hs.Src, Dst: hs.Dst, Router: r.ID}
 		case !giOK:
 			// No usable intermediate group: minimal without comparison.
-			pkt.Minimal = true
-			pkt.InterGroup = -1
+			hs.Minimal = true
+			hs.InterGroup = -1
 			return nil
 		case !minFeasible:
 			// Minimal path severed: forced Valiant detour.
-			pkt.Minimal = false
-			pkt.InterGroup = gi
+			hs.Minimal = false
+			hs.InterGroup = gi
 			return nil
 		}
 	} else {
-		gi = u.pickInterGroup(gs, pkt.Seed)
+		gi = u.pickInterGroup(gs, hs.Seed)
 		if gi == gs {
 			// Single-group topology: no non-minimal candidate exists.
-			pkt.Minimal = true
-			pkt.InterGroup = -1
+			hs.Minimal = true
+			hs.InterGroup = -1
 			return nil
 		}
 	}
 
-	hm := u.minimalHops(r.ID, dstR, pkt.Seed)
-	hnm := u.nonminimalHops(r.ID, dstR, gi, pkt.Seed)
+	hm := u.minimalHops(r.ID, dstR, hs.Seed)
+	hnm := u.nonminimalHops(r.ID, dstR, gi, hs.Seed)
 
-	portM, vcM, errM := u.hop(r.ID, dstR, gd, true, pkt.Seed)
-	portNm, vcNm, errNm := u.hop(r.ID, dstR, gi, false, pkt.Seed)
+	portM, vcM, errM := u.hop(r.ID, dstR, gd, true, hs.Seed)
+	portNm, vcNm, errNm := u.hop(r.ID, dstR, gi, false, hs.Seed)
 	// Either candidate's first hop can be locally severed even when the
 	// group pair keeps live channels; fall back to the other candidate.
 	switch {
 	case errM != nil && errNm != nil:
-		return &sim.UnroutableError{Src: pkt.Src, Dst: pkt.Dst, Router: r.ID}
+		return &sim.UnroutableError{Src: hs.Src, Dst: hs.Dst, Router: r.ID}
 	case errM != nil:
-		pkt.Minimal = false
-		pkt.InterGroup = gi
+		hs.Minimal = false
+		hs.InterGroup = gi
 		return nil
 	case errNm != nil:
-		pkt.Minimal = true
-		pkt.InterGroup = -1
+		hs.Minimal = true
+		hs.InterGroup = -1
 		return nil
 	}
 
@@ -260,16 +260,16 @@ func (u *UGAL) Decide(net *sim.Network, r *sim.Router, pkt *sim.Packet) error {
 			qnm = r.OutputQueue(portNm)
 		}
 	case UGALGlobal:
-		qm, qnm = u.globalQueues(net, r, dstR, gs, gd, gi, pkt.Seed, portM, portNm)
+		qm, qnm = u.globalQueues(net, r, dstR, gs, gd, gi, hs.Seed, portM, portNm)
 	}
 
 	if qm*hm <= qnm*hnm {
-		pkt.Minimal = true
-		pkt.InterGroup = -1
+		hs.Minimal = true
+		hs.InterGroup = -1
 		return nil
 	}
-	pkt.Minimal = false
-	pkt.InterGroup = gi
+	hs.Minimal = false
+	hs.InterGroup = gi
 	return nil
 }
 

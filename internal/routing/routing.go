@@ -221,32 +221,32 @@ func (b *base) chooseSlot(cur, tg int, seed uint64) int {
 // degraded topology it returns a *sim.UnroutableError when the fault
 // plan severed every channel the hop could use; the simulator drops the
 // packet and counts it.
-func (b *base) NextHop(net *sim.Network, r *sim.Router, pkt *sim.Packet) error {
+func (b *base) NextHop(net *sim.Network, r *sim.Router, hs *sim.HopState) error {
 	t := b.topo
-	dstR := t.TerminalRouter(pkt.Dst)
+	dstR := t.TerminalRouter(hs.Dst)
 	if r.ID == dstR {
-		pkt.NextPort = t.TerminalPort(pkt.Dst)
-		pkt.NextVC = 0
+		hs.Port = t.TerminalPort(hs.Dst)
+		hs.VC = 0
 		return nil
 	}
 	cur := t.RouterGroup(r.ID)
-	if !pkt.Phase1() && cur == pkt.InterGroup {
-		pkt.SetPhase1()
+	if !hs.Phase1 && cur == hs.InterGroup {
+		hs.Phase1 = true
 	}
 	tg := t.RouterGroup(dstR)
-	if !pkt.Phase1() {
-		tg = pkt.InterGroup
+	if !hs.Phase1 {
+		tg = hs.InterGroup
 	}
-	if !pkt.Phase1() && cur == tg {
+	if !hs.Phase1 && cur == tg {
 		// InterGroup equals the source group: degenerate to phase 1.
-		pkt.SetPhase1()
+		hs.Phase1 = true
 		tg = t.RouterGroup(dstR)
 	}
-	port, vc, err := b.hop(r.ID, dstR, tg, pkt.Phase1(), pkt.Seed)
+	port, vc, err := b.hop(r.ID, dstR, tg, hs.Phase1, hs.Seed)
 	if err != nil {
-		return &sim.UnroutableError{Src: pkt.Src, Dst: pkt.Dst, Router: r.ID}
+		return &sim.UnroutableError{Src: hs.Src, Dst: hs.Dst, Router: r.ID}
 	}
-	pkt.NextPort, pkt.NextVC = port, vc
+	hs.Port, hs.VC = port, vc
 	return nil
 }
 

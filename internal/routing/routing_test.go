@@ -46,8 +46,8 @@ type vcState struct {
 
 func (h *hopRecorder) Name() string { return h.inner.Name() }
 
-func (h *hopRecorder) Decide(net *sim.Network, r *sim.Router, pkt *sim.Packet) error {
-	return h.inner.Decide(net, r, pkt)
+func (h *hopRecorder) Decide(net *sim.Network, r *sim.Router, hs *sim.HopState) error {
+	return h.inner.Decide(net, r, hs)
 }
 
 // classLevel maps a (channel class, VC) pair to its position in the
@@ -60,21 +60,21 @@ func classLevel(c topology.Class, vc int) int {
 	return 2 * vc
 }
 
-func (h *hopRecorder) NextHop(net *sim.Network, r *sim.Router, pkt *sim.Packet) error {
-	if err := h.inner.NextHop(net, r, pkt); err != nil {
+func (h *hopRecorder) NextHop(net *sim.Network, r *sim.Router, hs *sim.HopState) error {
+	if err := h.inner.NextHop(net, r, hs); err != nil {
 		return err
 	}
 	classify := h.class
 	if classify == nil {
 		classify = h.topo.PortClass
 	}
-	cls := classify(pkt.NextPort)
+	cls := classify(hs.Port)
 	if cls == topology.ClassTerminal {
-		delete(h.lastVC, pkt.ID)
+		delete(h.lastVC, hs.ID)
 		return nil
 	}
-	cur := vcState{class: cls, vc: pkt.NextVC}
-	if prev, ok := h.lastVC[pkt.ID]; ok {
+	cur := vcState{class: cls, vc: hs.VC}
+	if prev, ok := h.lastVC[hs.ID]; ok {
 		lc, lp := classLevel(cur.class, cur.vc), classLevel(prev.class, prev.vc)
 		// Equal levels are legal only for consecutive local hops of one
 		// group visit (dimension-order routing inside a flattened-
@@ -82,10 +82,10 @@ func (h *hopRecorder) NextHop(net *sim.Network, r *sim.Router, pkt *sim.Packet) 
 		sameLocal := lc == lp && cur.class == topology.ClassLocal && prev.class == topology.ClassLocal
 		if lc < lp || (lc == lp && !sameLocal) {
 			h.bad("packet %d: VC level not increasing: (%v,%d) -> (%v,%d)",
-				pkt.ID, prev.class, prev.vc, cur.class, cur.vc)
+				hs.ID, prev.class, prev.vc, cur.class, cur.vc)
 		}
 	}
-	h.lastVC[pkt.ID] = cur
+	h.lastVC[hs.ID] = cur
 	return nil
 }
 

@@ -1,0 +1,11 @@
+//go:build dflydebug
+
+package sim
+
+// arenaDebug switches on the arena liveness checks: alloc panics if it
+// hands out a ref that is still in flight, release panics on a
+// double-free. The constant lets the compiler delete the checks (and
+// the live column) entirely from normal builds.
+//
+//	go test -tags dflydebug ./internal/sim/
+const arenaDebug = true

@@ -1,0 +1,6 @@
+//go:build !dflydebug
+
+package sim
+
+// arenaDebug is off in normal builds; see arena_debug.go.
+const arenaDebug = false

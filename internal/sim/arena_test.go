@@ -1,0 +1,115 @@
+package sim
+
+import "testing"
+
+func TestArenaAllocResetsSlot(t *testing.T) {
+	var a arena
+	ref := a.alloc()
+	a.dst[ref] = 7
+	a.flags[ref] = pfMinimal | pfMeasured
+	a.interGrp[ref] = 3
+	a.hops[ref] = 5
+	a.release(ref)
+	got := a.alloc()
+	if got != ref {
+		t.Fatalf("LIFO free list did not hand back the hot slot: got %d, want %d", got, ref)
+	}
+	if a.dst[got] != 0 || a.flags[got] != 0 || a.interGrp[got] != 0 || a.hops[got] != 0 {
+		t.Error("alloc did not reset the recycled slot")
+	}
+}
+
+func TestArenaRecyclingKeepsInUseBounded(t *testing.T) {
+	// The drop and eject paths both release into the same free list; a
+	// workload that frees as much as it allocates must not grow the
+	// arena past its first high-water mark.
+	var a arena
+	live := make([]int32, 0, 64)
+	for i := 0; i < 64; i++ {
+		live = append(live, a.alloc())
+	}
+	capAfterWarmup := a.capacity()
+	for round := 0; round < 10000; round++ {
+		// Free one (alternating "eject" from the front and "drop" from the
+		// back of the live set) and allocate one.
+		var ref int32
+		if round%2 == 0 {
+			ref = live[0]
+			live = live[1:]
+		} else {
+			ref = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		a.release(ref)
+		live = append(live, a.alloc())
+	}
+	if a.capacity() != capAfterWarmup {
+		t.Errorf("arena grew from %d to %d slots under a recycling workload", capAfterWarmup, a.capacity())
+	}
+	if got := a.inUse(); got != len(live) {
+		t.Errorf("inUse = %d, want %d", got, len(live))
+	}
+}
+
+func TestArenaNoRefHandedOutTwice(t *testing.T) {
+	// Until released, a ref must never be handed out again, across
+	// growth included.
+	var a arena
+	seen := make(map[int32]bool)
+	for i := 0; i < 1000; i++ {
+		ref := a.alloc()
+		if seen[ref] {
+			t.Fatalf("ref %d handed out while in flight", ref)
+		}
+		seen[ref] = true
+	}
+}
+
+func TestArenaGrowDoubles(t *testing.T) {
+	var a arena
+	a.alloc()
+	if a.capacity() != 256 {
+		t.Fatalf("first chunk = %d slots, want 256", a.capacity())
+	}
+	for i := 1; i < 257; i++ {
+		a.alloc()
+	}
+	if a.capacity() != 512 {
+		t.Fatalf("after 257 allocs capacity = %d, want 512", a.capacity())
+	}
+	if a.inUse() != 257 {
+		t.Fatalf("inUse = %d, want 257", a.inUse())
+	}
+}
+
+func TestArenaViewRoundTrip(t *testing.T) {
+	var a arena
+	ref := a.alloc()
+	a.id[ref] = 99
+	a.seed[ref] = 0xdead
+	a.src[ref] = 3
+	a.dst[ref] = 11
+	a.create[ref] = 100
+	a.inject[ref] = 110
+	a.flags[ref] = pfMinimal | pfPhase1 | pfDecided | pfMeasured
+	a.interGrp[ref] = -1
+	a.nextPort[ref] = 4
+	a.nextVC[ref] = 2
+	a.inPort[ref] = 1
+	a.bufVC[ref] = 1
+	a.hops[ref] = 3
+	var p Packet
+	a.view(ref, &p)
+	if p.ID != 99 || p.Seed != 0xdead || p.Src != 3 || p.Dst != 11 {
+		t.Error("identity fields wrong in view")
+	}
+	if p.CreateTime != 100 || p.InjectTime != 110 || p.EjectTime != 0 {
+		t.Error("time fields wrong in view")
+	}
+	if !p.Minimal || !p.Phase1() || !p.Decided || !p.Measured {
+		t.Error("flag fields wrong in view")
+	}
+	if p.InterGroup != -1 || p.NextPort != 4 || p.NextVC != 2 || p.InPort != 1 || p.BufVC != 1 || p.Hops() != 3 {
+		t.Error("hop fields wrong in view")
+	}
+}

@@ -85,14 +85,42 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// HopState is the caller-owned scratch a routing query operates on: the
+// simulator copies the packet's routing-relevant state out of its arena
+// into a HopState it owns, passes the pointer down, and copies the
+// writable fields back afterwards. Routing implementations therefore
+// never allocate and never see (or retain) simulator packet storage.
+type HopState struct {
+	// ID, Seed, Src and Dst identify the packet; read-only for routing.
+	ID       uint64
+	Seed     uint64
+	Src, Dst int
+
+	// Minimal and InterGroup are the source decision: set by Decide,
+	// read by NextHop. InterGroup is -1 for minimal packets.
+	Minimal    bool
+	InterGroup int
+
+	// Phase1 reports that the packet is heading for its final
+	// destination group. NextHop sets it when the packet reaches its
+	// Valiant intermediate group (the simulator sets it for minimal
+	// packets right after Decide).
+	Phase1 bool
+
+	// Port and VC are NextHop's outputs: the switch request for the
+	// current hop.
+	Port, VC int
+}
+
 // Routing decides packet paths. Implementations live in internal/routing;
 // the simulator calls Decide exactly once per packet — when it first
 // reaches the head of its source queue at the source router — and
 // NextHop every time a packet is buffered at a router (including right
 // after Decide), to obtain the switch request for the current hop.
 //
-// NextHop must set pkt.NextPort/pkt.NextVC; a NextPort that is a terminal
-// port of the current router ejects the packet.
+// Both methods read and write the caller-owned *HopState; neither may
+// retain it past the call. NextHop must set hs.Port/hs.VC; a Port that
+// is a terminal port of the current router ejects the packet.
 //
 // Both methods may return an error wrapping ErrUnroutable when the
 // packet's destination cannot be reached (a fault plan severed every
@@ -102,11 +130,12 @@ type Routing interface {
 	// Name identifies the algorithm in results and logs.
 	Name() string
 	// Decide makes the source-router adaptive decision (minimal vs.
-	// Valiant, intermediate group) for pkt, which is at router r.
-	Decide(net *Network, r *Router, pkt *Packet) error
-	// NextHop computes the current hop's output port and VC for pkt
-	// buffered at router r.
-	NextHop(net *Network, r *Router, pkt *Packet) error
+	// Valiant, intermediate group) for the packet described by hs, which
+	// is at router r.
+	Decide(net *Network, r *Router, hs *HopState) error
+	// NextHop computes the current hop's output port and VC for the
+	// packet described by hs, buffered at router r.
+	NextHop(net *Network, r *Router, hs *HopState) error
 }
 
 // Traffic supplies each injected packet's destination terminal.

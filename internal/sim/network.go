@@ -5,11 +5,19 @@ import (
 	"fmt"
 	"sort"
 
+	"dragonfly/internal/metrics"
 	"dragonfly/internal/topology"
 )
 
 // Network is a running simulation instance: the routers, channels and
 // terminals of one topology, plus injection and measurement state.
+//
+// The hot state is allocation-free by construction: packets live in a
+// struct-of-arrays arena and move through the queues as int32 refs,
+// routers and links are value slices, and the per-query scratch
+// (HopState, the OnEject Packet view) is owned by the Network and
+// reused. Steady-state cycles allocate only when a queue or the arena
+// has to grow past its high-water mark.
 type Network struct {
 	topo    Topology
 	cfg     Config
@@ -17,11 +25,11 @@ type Network struct {
 	traffic Traffic
 
 	now     int64
-	routers []*Router
-	links   []*link
+	routers []Router
+	links   []link
 
 	termRNG []rng
-	pool    packetPool
+	ar      arena
 	nextID  uint64
 
 	// Fault state, populated when the topology implements
@@ -46,11 +54,20 @@ type Network struct {
 	ejectedWindow  int64
 	countWindow    bool
 
-	// utilization counting (enabled on demand); indexed by link id.
-	util []int64
+	// mc receives instrumentation events when a collector is attached;
+	// nil (the default) turns every emission site into one untaken
+	// branch.
+	mc metrics.Collector
 
-	// OnEject, when non-nil, observes every ejected packet before it is
-	// recycled; the packet must not be retained.
+	// hs is the routing scratch: filled from the arena before every
+	// Decide/NextHop call, written back after. ejectView is the Packet
+	// materialised for OnEject. Both are reused across calls.
+	hs        HopState
+	ejectView Packet
+
+	// OnEject, when non-nil, observes every ejected packet before its
+	// arena slot is recycled; the *Packet is a reused view and must not
+	// be retained.
 	OnEject func(p *Packet, now int64)
 }
 
@@ -69,14 +86,15 @@ func New(topo Topology, cfg Config, routing Routing, traffic Traffic) (*Network,
 		routing: routing,
 		traffic: traffic,
 	}
-	n.routers = make([]*Router, topo.Routers())
+	n.routers = make([]Router, topo.Routers())
 	for r := range n.routers {
-		n.routers[r] = newRouter(r, topo, cfg)
+		n.routers[r].init(r, topo, cfg)
 	}
-	// Build one directed link per non-terminal port direction and cross-
-	// wire the in/out references.
+	// Build one directed link per non-terminal port direction, then
+	// cross-wire the in/out ids (two passes so append can't invalidate
+	// ids handed out earlier).
 	for r := range n.routers {
-		rt := n.routers[r]
+		rt := &n.routers[r]
 		for p := 0; p < rt.radix; p++ {
 			pt := topo.Port(r, p)
 			if pt.Class == topology.ClassTerminal {
@@ -86,26 +104,33 @@ func New(topo Topology, cfg Config, routing Routing, traffic Traffic) (*Network,
 			if pt.Class == topology.ClassGlobal {
 				lat = int64(cfg.GlobalLatency)
 			}
-			l := &link{
-				id:      len(n.links),
+			id := len(n.links)
+			n.links = append(n.links, link{
+				id:      id,
 				src:     r,
 				srcPort: p,
 				dst:     pt.PeerRouter,
 				dstPort: pt.PeerPort,
 				latency: lat,
 				global:  pt.Class == topology.ClassGlobal,
-			}
-			n.links = append(n.links, l)
-			rt.outLink[p] = l
+			})
+			l := &n.links[id]
+			// One flit enters per cycle and rides for `latency` cycles,
+			// so the delay line never holds more than latency+1 flits;
+			// credits are 1:1 with downstream buffer slots.
+			l.flits.reserve(int(lat) + 1)
+			l.credits.reserve(cfg.VCs * cfg.BufDepth)
+			rt.outLink[p] = int32(id)
 			rt.tcrt0[p] = 2 * lat
 			// Credits for router-to-router outputs start full.
 			for vc := 0; vc < cfg.VCs; vc++ {
-				rt.credits[p][vc] = cfg.BufDepth
+				rt.credits[rt.pv(p, vc)] = int32(cfg.BufDepth)
 			}
 		}
 	}
-	for _, l := range n.links {
-		n.routers[l.dst].inLink[l.dstPort] = l
+	for i := range n.links {
+		l := &n.links[i]
+		n.routers[l.dst].inLink[l.dstPort] = int32(i)
 	}
 	n.termRNG = make([]rng, topo.Terminals())
 	for t := range n.termRNG {
@@ -117,7 +142,8 @@ func New(topo Topology, cfg Config, routing Routing, traffic Traffic) (*Network,
 	}
 	n.aliveTerms = topo.Terminals()
 	if deg, ok := topo.(DegradedTopology); ok {
-		for _, l := range n.links {
+		for i := range n.links {
+			l := &n.links[i]
 			l.dead = !deg.Alive(l.src, l.srcPort)
 		}
 		for t := 0; t < topo.Terminals(); t++ {
@@ -144,35 +170,36 @@ func (n *Network) Topology() Topology { return n.topo }
 
 // RouterAt returns the simulation state of router id. Routing algorithms
 // use it for remote (UGAL-G) or local congestion queries.
-func (n *Network) RouterAt(id int) *Router { return n.routers[id] }
+func (n *Network) RouterAt(id int) *Router { return &n.routers[id] }
 
 // SetLoad sets the Bernoulli injection probability per terminal per
 // cycle, in flits (load 1.0 = every terminal injects every cycle).
 func (n *Network) SetLoad(load float64) { n.load = load }
 
-// EnableUtilization switches on per-channel flit counting.
-func (n *Network) EnableUtilization() {
-	if n.util == nil {
-		n.util = make([]int64, len(n.links))
-	}
+// AttachMetrics installs c as the instrumentation sink; nil detaches it
+// and restores the zero-cost path. The previous collector is returned so
+// callers can stack and restore.
+func (n *Network) AttachMetrics(c metrics.Collector) (prev metrics.Collector) {
+	prev = n.mc
+	n.mc = c
+	return prev
 }
 
-// ResetUtilization clears the per-channel counters.
-func (n *Network) ResetUtilization() {
-	for i := range n.util {
-		n.util[i] = 0
-	}
-}
+// Metrics returns the currently attached collector, nil when metrics are
+// off.
+func (n *Network) Metrics() metrics.Collector { return n.mc }
 
-// ChannelBusy returns the flit count recorded on the outgoing channel of
-// (router, port) since utilization counting was last reset, or -1 if the
-// port has no channel or counting is off.
-func (n *Network) ChannelBusy(router, port int) int64 {
+// NumLinks returns the number of directed router-to-router channels.
+func (n *Network) NumLinks() int { return len(n.links) }
+
+// LinkID maps (router, output port) to the id metrics events carry, -1
+// when the port has no channel (terminal ports).
+func (n *Network) LinkID(router, port int) int {
 	l := n.routers[router].outLink[port]
-	if l == nil || n.util == nil {
+	if l == nilLink {
 		return -1
 	}
-	return n.util[l.id]
+	return int(l)
 }
 
 // InFlight returns the number of packets buffered or on channels.
@@ -185,6 +212,55 @@ func (n *Network) Dropped() int64 { return n.dropped }
 // AliveTerminals returns the number of terminals that can inject and
 // eject under the current fault plan.
 func (n *Network) AliveTerminals() int { return n.aliveTerms }
+
+// loadHop fills the routing scratch from arena slot ref.
+func (n *Network) loadHop(ref int32) {
+	f := n.ar.flags[ref]
+	n.hs.ID = n.ar.id[ref]
+	n.hs.Seed = n.ar.seed[ref]
+	n.hs.Src = int(n.ar.src[ref])
+	n.hs.Dst = int(n.ar.dst[ref])
+	n.hs.Minimal = f&pfMinimal != 0
+	n.hs.InterGroup = int(n.ar.interGrp[ref])
+	n.hs.Phase1 = f&pfPhase1 != 0
+	n.hs.Port = int(n.ar.nextPort[ref])
+	n.hs.VC = int(n.ar.nextVC[ref])
+}
+
+// storeHop writes the scratch's writable fields back to arena slot ref.
+func (n *Network) storeHop(ref int32) {
+	f := n.ar.flags[ref] &^ (pfMinimal | pfPhase1)
+	if n.hs.Minimal {
+		f |= pfMinimal
+	}
+	if n.hs.Phase1 {
+		f |= pfPhase1
+	}
+	n.ar.flags[ref] = f
+	n.ar.interGrp[ref] = int32(n.hs.InterGroup)
+	n.ar.nextPort[ref] = int16(n.hs.Port)
+	n.ar.nextVC[ref] = int8(n.hs.VC)
+}
+
+// decide runs the source-router routing decision for slot ref at r.
+func (n *Network) decide(r *Router, ref int32) error {
+	n.loadHop(ref)
+	if err := n.routing.Decide(n, r, &n.hs); err != nil {
+		return err
+	}
+	n.storeHop(ref)
+	return nil
+}
+
+// nextHop computes the switch request for slot ref buffered at r.
+func (n *Network) nextHop(r *Router, ref int32) error {
+	n.loadHop(ref)
+	if err := n.routing.NextHop(n, r, &n.hs); err != nil {
+		return err
+	}
+	n.storeHop(ref)
+	return nil
+}
 
 // Step advances the simulation one cycle: deliver flits and credits that
 // completed their channel latency, inject new packets, make the
@@ -199,7 +275,8 @@ func (n *Network) Step() error {
 		return err
 	}
 	n.inject()
-	for _, r := range n.routers {
+	for i := range n.routers {
+		r := &n.routers[i]
 		if err := n.admitSources(r); err != nil {
 			return err
 		}
@@ -214,31 +291,36 @@ func (n *Network) Step() error {
 // destination routers. Delivered flits are routed immediately and placed
 // in the virtual output queue of their next hop.
 func (n *Network) deliver() error {
-	for _, l := range n.links {
+	for li := range n.links {
+		l := &n.links[li]
 		for {
 			f := l.flits.peek()
 			if f == nil || f.at > n.now {
 				break
 			}
 			e := l.flits.pop()
-			rt := n.routers[l.dst]
-			occ := &rt.inOcc[l.dstPort][e.vc]
-			if *occ >= rt.depth {
+			rt := &n.routers[l.dst]
+			occ := &rt.inOcc[rt.pv(l.dstPort, int(e.vc))]
+			if *occ >= int32(rt.depth) {
 				return &InvariantError{Kind: "buffer overflow", Router: l.dst, Port: l.dstPort, VC: int(e.vc), Cycle: n.now}
 			}
 			*occ++
-			e.pkt.InPort = l.dstPort
-			e.pkt.BufVC = int(e.vc)
-			e.pkt.hops++
-			e.pkt.arrive = n.now
-			if err := n.routing.NextHop(n, rt, e.pkt); err != nil {
+			if n.mc != nil {
+				n.mc.VCOccupancy(l.dst, l.dstPort, int(e.vc), int(*occ))
+			}
+			ref := e.ref
+			n.ar.inPort[ref] = int16(l.dstPort)
+			n.ar.bufVC[ref] = int8(e.vc)
+			n.ar.hops[ref]++
+			n.ar.arrive[ref] = n.now
+			if err := n.nextHop(rt, ref); err != nil {
 				if errors.Is(err, ErrUnroutable) {
-					n.drop(rt, e.pkt)
+					n.drop(rt, ref)
 					continue
 				}
 				return err
 			}
-			rt.waitQ[e.pkt.NextPort][e.pkt.NextVC].push(e.pkt)
+			rt.waitQ[rt.pv(int(n.ar.nextPort[ref]), int(n.ar.nextVC[ref]))].push(ref)
 		}
 		for {
 			c := l.credits.peek()
@@ -246,9 +328,10 @@ func (n *Network) deliver() error {
 				break
 			}
 			e := l.credits.pop()
-			rt := n.routers[l.src]
-			rt.credits[l.srcPort][e.vc]++
-			if rt.credits[l.srcPort][e.vc] > rt.depth {
+			rt := &n.routers[l.src]
+			cr := &rt.credits[rt.pv(l.srcPort, int(e.vc))]
+			*cr++
+			if *cr > int32(rt.depth) {
 				return &InvariantError{Kind: "credit overflow", Router: l.src, Port: l.srcPort, VC: int(e.vc), Cycle: n.now}
 			}
 			// Credit round-trip measurement (Figure 17(b)): pop the send
@@ -256,6 +339,9 @@ func (n *Network) deliver() error {
 			if ts := rt.ctq[l.srcPort].peek(); ts != nil {
 				sent := rt.ctq[l.srcPort].pop()
 				tcrt := n.now - sent.at
+				if n.mc != nil {
+					n.mc.CreditRTT(l.src, l.srcPort, tcrt)
+				}
 				td := tcrt - rt.tcrt0[l.srcPort]
 				if td < 0 {
 					td = 0
@@ -269,21 +355,27 @@ func (n *Network) deliver() error {
 
 // drop abandons a packet that routing declared unroutable at router r:
 // its input-buffer slot is freed, the credit returned upstream (plain,
-// without the congestion delay — pkt.NextPort is not meaningful for an
+// without the congestion delay — the next port is not meaningful for an
 // unrouted packet), and the packet is counted in Dropped. Dropping is
 // forward progress: it resets the stall detector like any flit movement.
-func (n *Network) drop(r *Router, pkt *Packet) {
-	r.inOcc[pkt.InPort][pkt.BufVC]--
-	if up := r.inLink[pkt.InPort]; up != nil {
-		up.credits.push(uint8(pkt.BufVC), n.now+up.latency)
+func (n *Network) drop(r *Router, ref int32) {
+	inP := int(n.ar.inPort[ref])
+	bvc := int(n.ar.bufVC[ref])
+	r.inOcc[r.pv(inP, bvc)]--
+	if up := r.inLink[inP]; up != nilLink {
+		ul := &n.links[up]
+		ul.credits.push(uint8(bvc), n.now+ul.latency)
 	}
-	if pkt.Measured {
+	if n.ar.flags[ref]&pfMeasured != 0 {
 		n.outstanding--
 	}
 	n.inFlight--
 	n.dropped++
 	n.lastMove = n.now
-	n.pool.put(pkt)
+	if n.mc != nil {
+		n.mc.Drop(r.ID)
+	}
+	n.ar.release(ref)
 }
 
 // inject performs the Bernoulli injection process at every terminal.
@@ -299,25 +391,25 @@ func (n *Network) inject() {
 		if !n.termAlive[t] {
 			continue // dead terminal: draws consumed, nothing injected
 		}
-		p := n.pool.get()
-		p.ID = n.nextID
+		ref := n.ar.alloc()
+		n.ar.id[ref] = n.nextID
 		n.nextID++
-		p.Seed = r.Next()
-		p.Src = t
-		p.Dst = n.traffic.Dest(t, r.Next())
-		p.CreateTime = n.now
-		p.InterGroup = -1
-		p.InPort = -1
-		p.Measured = n.measuring
-		if p.Measured {
+		n.ar.seed[ref] = r.Next()
+		n.ar.src[ref] = int32(t)
+		n.ar.dst[ref] = int32(n.traffic.Dest(t, r.Next()))
+		n.ar.create[ref] = n.now
+		n.ar.interGrp[ref] = -1
+		n.ar.inPort[ref] = -1
+		if n.measuring {
+			n.ar.flags[ref] |= pfMeasured
 			n.outstanding++
 		}
 		n.inFlight++
 		if n.countWindow {
 			n.injectedWindow++
 		}
-		rt := n.routers[n.topo.TerminalRouter(t)]
-		rt.srcQ[n.topo.TerminalPort(t)].push(p)
+		rt := &n.routers[n.topo.TerminalRouter(t)]
+		rt.srcQ[n.topo.TerminalPort(t)].push(ref)
 	}
 }
 
@@ -332,34 +424,34 @@ func (n *Network) admitSources(r *Router) error {
 			continue
 		}
 		head := r.srcQ[p].peek()
-		if head == nil || r.inOcc[p][0] >= r.depth {
+		if head == nilRef || r.inOcc[r.pv(p, 0)] >= int32(r.depth) {
 			continue
 		}
 		r.srcQ[p].pop()
-		r.inOcc[p][0]++
-		head.InPort = p
-		head.BufVC = 0
-		head.InjectTime = n.now
-		head.arrive = n.now
-		head.Decided = true
-		if err := n.routing.Decide(n, r, head); err != nil {
+		r.inOcc[r.pv(p, 0)]++
+		n.ar.inPort[head] = int16(p)
+		n.ar.bufVC[head] = 0
+		n.ar.inject[head] = n.now
+		n.ar.arrive[head] = n.now
+		n.ar.flags[head] |= pfDecided
+		if err := n.decide(r, head); err != nil {
 			if errors.Is(err, ErrUnroutable) {
 				n.drop(r, head)
 				continue
 			}
 			return err
 		}
-		if head.Minimal {
-			head.SetPhase1()
+		if n.ar.flags[head]&pfMinimal != 0 {
+			n.ar.flags[head] |= pfPhase1
 		}
-		if err := n.routing.NextHop(n, r, head); err != nil {
+		if err := n.nextHop(r, head); err != nil {
 			if errors.Is(err, ErrUnroutable) {
 				n.drop(r, head)
 				continue
 			}
 			return err
 		}
-		r.waitQ[head.NextPort][head.NextVC].push(head)
+		r.waitQ[r.pv(int(n.ar.nextPort[head]), int(n.ar.nextVC[head]))].push(head)
 	}
 	return nil
 }
@@ -373,12 +465,11 @@ func (n *Network) eject(r *Router) {
 			continue
 		}
 		for vc := 0; vc < r.vcs; vc++ {
-			q := &r.waitQ[p][vc]
+			q := &r.waitQ[r.pv(p, vc)]
 			for q.len() > 0 {
-				pkt := q.pop()
-				n.departed(r, pkt)
-				pkt.EjectTime = n.now
-				if pkt.Measured {
+				ref := q.pop()
+				n.departed(r, ref)
+				if n.ar.flags[ref]&pfMeasured != 0 {
 					n.outstanding--
 				}
 				n.inFlight--
@@ -387,29 +478,35 @@ func (n *Network) eject(r *Router) {
 				}
 				n.lastMove = n.now
 				if n.OnEject != nil {
-					n.OnEject(pkt, n.now)
+					n.ar.view(ref, &n.ejectView)
+					n.ejectView.EjectTime = n.now
+					n.OnEject(&n.ejectView, n.now)
 				}
-				n.pool.put(pkt)
+				n.ar.release(ref)
 			}
 		}
 	}
 }
 
-// departed frees packet pkt's input-buffer slot and returns the credit
-// upstream when it crosses the crossbar (or ejects) at router r.
-func (n *Network) departed(r *Router, pkt *Packet) {
-	r.inOcc[pkt.InPort][pkt.BufVC]--
-	up := r.inLink[pkt.InPort]
-	if up == nil {
+// departed frees arena slot ref's input-buffer slot and returns the
+// credit upstream when it crosses the crossbar (or ejects) at router r.
+func (n *Network) departed(r *Router, ref int32) {
+	inP := int(n.ar.inPort[ref])
+	bvc := int(n.ar.bufVC[ref])
+	r.inOcc[r.pv(inP, bvc)]--
+	upID := r.inLink[inP]
+	if upID == nilLink {
 		return // terminal input: the freed slot is visible directly
 	}
+	up := &n.links[upID]
 	var delay int64
 	// Credit round-trip congestion signalling: delay the credit by the
 	// congestion estimate of the output the packet went to, relative to
 	// the router's least-congested output. Credits crossing global
 	// channels are never delayed (Section 4.3.2), which both bounds the
 	// mechanism and keeps the expensive channels fully utilisable.
-	if n.cfg.DelayCredits && !up.global && !r.isTerm[pkt.NextPort] {
+	nextPort := int(n.ar.nextPort[ref])
+	if n.cfg.DelayCredits && !up.global && !r.isTerm[nextPort] {
 		// The delay uses only the locally measured crossing wait; folding
 		// the downstream round-trip excess back in would compound the
 		// delays recursively hop-by-hop and throttle uniformly loaded
@@ -421,14 +518,14 @@ func (n *Network) departed(r *Router, pkt *Packet) {
 		if slack == 0 {
 			slack = 8
 		}
-		if out := r.outLink[pkt.NextPort]; out != nil && out.global {
+		if out := r.outLink[nextPort]; out != nilLink && n.links[out].global {
 			base := r.baseCrossTD()
-			if td := r.crossTd[pkt.NextPort]; td > 2*base+slack {
+			if td := r.crossTd[nextPort]; td > 2*base+slack {
 				delay = td - base - slack
 			}
 		}
 	}
-	up.credits.push(uint8(pkt.BufVC), n.now+up.latency+delay)
+	up.credits.push(uint8(bvc), n.now+up.latency+delay)
 }
 
 // transfer crosses the crossbar: flits move from waitQ into the bounded
@@ -436,19 +533,20 @@ func (n *Network) departed(r *Router, pkt *Packet) {
 // 4.2), freeing their input slots and returning credits upstream.
 func (n *Network) transfer(r *Router) {
 	for out := 0; out < r.radix; out++ {
-		if r.outLink[out] == nil {
+		if r.outLink[out] == nilLink {
 			continue // terminal outputs eject straight from waitQ
 		}
+		base := out * r.vcs
 		for vc := 0; vc < r.vcs; vc++ {
-			w := &r.waitQ[out][vc]
-			q := &r.outQ[out][vc]
+			w := &r.waitQ[base+vc]
+			q := &r.outQ[base+vc]
 			for w.len() > 0 && q.len() < r.outDepth {
-				pkt := w.pop()
+				ref := w.pop()
 				if n.cfg.DelayCredits {
-					r.crossTd[out] = asymEwma(r.crossTd[out], n.now-pkt.arrive)
+					r.crossTd[out] = asymEwma(r.crossTd[out], n.now-n.ar.arrive[ref])
 				}
-				n.departed(r, pkt)
-				q.push(pkt)
+				n.departed(r, ref)
+				q.push(ref)
 			}
 		}
 	}
@@ -458,34 +556,37 @@ func (n *Network) transfer(r *Router) {
 // the output buffer, round-robin over the output's VCs.
 func (n *Network) allocate(r *Router) {
 	for out := 0; out < r.radix; out++ {
-		l := r.outLink[out]
-		if l == nil {
+		lid := r.outLink[out]
+		if lid == nilLink {
 			continue // terminal outputs are handled by eject
 		}
+		l := &n.links[lid]
 		if l.dead {
 			continue // failed channel: carries no flits
 		}
-		start := r.outRR[out]
+		base := out * r.vcs
+		start := int(r.outRR[out])
 		for i := 0; i < r.vcs; i++ {
 			vc := start + i
 			if vc >= r.vcs {
 				vc -= r.vcs
 			}
-			q := &r.outQ[out][vc]
-			if q.len() == 0 || r.credits[out][vc] <= 0 {
+			q := &r.outQ[base+vc]
+			if q.len() == 0 || r.credits[base+vc] <= 0 {
 				continue
 			}
-			pkt := q.pop()
-			r.credits[out][vc]--
+			ref := q.pop()
+			r.credits[base+vc]--
 			r.ctq[out].push(0, n.now)
-			l.flits.push(flitEntry{pkt: pkt, vc: uint8(vc), at: n.now + l.latency})
-			if n.util != nil {
-				n.util[l.id]++
+			l.flits.push(flitEntry{ref: ref, vc: uint8(vc), at: n.now + l.latency})
+			if n.mc != nil {
+				n.mc.ChannelFlit(l.id)
 			}
-			r.outRR[out] = vc + 1
-			if r.outRR[out] >= r.vcs {
-				r.outRR[out] -= r.vcs
+			rr := vc + 1
+			if rr >= r.vcs {
+				rr -= r.vcs
 			}
+			r.outRR[out] = int32(rr)
 			n.lastMove = n.now
 			break
 		}
@@ -496,24 +597,28 @@ func (n *Network) allocate(r *Router) {
 // tripped it, how many packets are wedged, and the most occupied
 // input-buffer VCs (the likely deadlock participants).
 func (n *Network) stallError(phase Phase, limit int64) *StallError {
+	if n.mc != nil {
+		n.mc.Stall(n.now)
+	}
 	e := &StallError{
 		Phase:      phase,
 		Cycle:      n.now,
 		StallLimit: limit,
 		InFlight:   n.inFlight,
 	}
-	for _, r := range n.routers {
+	for i := range n.routers {
+		r := &n.routers[i]
 		for p := 0; p < r.radix; p++ {
 			for vc := 0; vc < r.vcs; vc++ {
-				occ := r.inOcc[p][vc]
+				occ := int(r.inOcc[r.pv(p, vc)])
 				if occ == 0 {
 					continue
 				}
 				waiting := 0
 				for wvc := 0; wvc < r.vcs; wvc++ {
-					waiting += r.waitQ[p][wvc].len()
-					if r.outLink[p] != nil {
-						waiting += r.outQ[p][wvc].len()
+					waiting += r.waitQ[r.pv(p, wvc)].len()
+					if r.outLink[p] != nilLink {
+						waiting += r.outQ[r.pv(p, wvc)].len()
 					}
 				}
 				e.Hot = append(e.Hot, HotVC{Router: r.ID, Port: p, VC: vc, Occupancy: occ, Waiting: waiting})
@@ -543,7 +648,8 @@ func (n *Network) stallError(phase Phase, limit int64) *StallError {
 // a cheap saturation indicator.
 func (n *Network) TotalSourceBacklog() int {
 	total := 0
-	for _, r := range n.routers {
+	for i := range n.routers {
+		r := &n.routers[i]
 		for p := 0; p < r.radix; p++ {
 			if r.isTerm[p] {
 				total += r.srcQ[p].len()

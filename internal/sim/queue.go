@@ -1,60 +1,79 @@
 package sim
 
-// pktQueue is a growable FIFO of packets (ring buffer). Input-buffer
-// queues are bounded by credits, source queues are unbounded; both use
-// the same structure.
+// The simulator's FIFOs are power-of-two ring buffers: the wrap is a
+// single mask (`& (len-1)`) instead of a modulo, and the payloads are
+// arena refs and small structs, so a queue never holds pointers for the
+// garbage collector to trace.
+
+// pow2 rounds n up to the next power of two (minimum 8).
+func pow2(n int) int {
+	c := 8
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// pktQueue is a growable FIFO of packet refs. Input-buffer queues are
+// bounded by credits, source queues are unbounded; both use the same
+// structure.
 type pktQueue struct {
-	buf  []*Packet
+	buf  []int32
 	head int
 	n    int
 }
 
 func (q *pktQueue) len() int { return q.n }
 
-func (q *pktQueue) peek() *Packet {
+// peek returns the head ref, nilRef when empty.
+func (q *pktQueue) peek() int32 {
 	if q.n == 0 {
-		return nil
+		return nilRef
 	}
 	return q.buf[q.head]
 }
 
-func (q *pktQueue) push(p *Packet) {
+func (q *pktQueue) push(ref int32) {
 	if q.n == len(q.buf) {
-		q.grow()
+		q.grow(len(q.buf) * 2)
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = ref
 	q.n++
 }
 
-func (q *pktQueue) pop() *Packet {
+// pop removes and returns the head ref, nilRef when empty.
+func (q *pktQueue) pop() int32 {
 	if q.n == 0 {
-		return nil
+		return nilRef
 	}
-	p := q.buf[q.head]
-	q.buf[q.head] = nil
-	q.head = (q.head + 1) % len(q.buf)
+	ref := q.buf[q.head]
+	q.head = (q.head + 1) & (len(q.buf) - 1)
 	q.n--
-	return p
+	return ref
 }
 
-func (q *pktQueue) grow() {
-	cap := len(q.buf) * 2
-	if cap == 0 {
-		cap = 8
-	}
-	nb := make([]*Packet, cap)
+func (q *pktQueue) grow(want int) {
+	nb := make([]int32, pow2(want))
+	mask := len(q.buf) - 1
 	for i := 0; i < q.n; i++ {
-		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+		nb[i] = q.buf[(q.head+i)&mask]
 	}
 	q.buf = nb
 	q.head = 0
 }
 
+// reserve pre-sizes an empty ring so steady-state pushes never allocate.
+func (q *pktQueue) reserve(n int) {
+	if len(q.buf) == 0 {
+		q.buf = make([]int32, pow2(n))
+	}
+}
+
 // flitEntry is a packet in flight on a link.
 type flitEntry struct {
-	pkt *Packet
-	vc  uint8
 	at  int64
+	ref int32
+	vc  uint8
 }
 
 // flitQueue is a FIFO delay line for flits on a channel. Entries are
@@ -70,9 +89,9 @@ func (q *flitQueue) len() int { return q.n }
 
 func (q *flitQueue) push(e flitEntry) {
 	if q.n == len(q.buf) {
-		q.growTo(2 * (len(q.buf) + 4))
+		q.grow(len(q.buf) * 2)
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = e
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = e
 	q.n++
 }
 
@@ -85,19 +104,26 @@ func (q *flitQueue) peek() *flitEntry {
 
 func (q *flitQueue) pop() flitEntry {
 	e := q.buf[q.head]
-	q.buf[q.head] = flitEntry{}
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = (q.head + 1) & (len(q.buf) - 1)
 	q.n--
 	return e
 }
 
-func (q *flitQueue) growTo(cap int) {
-	nb := make([]flitEntry, cap)
+func (q *flitQueue) grow(want int) {
+	nb := make([]flitEntry, pow2(want))
+	mask := len(q.buf) - 1
 	for i := 0; i < q.n; i++ {
-		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+		nb[i] = q.buf[(q.head+i)&mask]
 	}
 	q.buf = nb
 	q.head = 0
+}
+
+// reserve pre-sizes an empty ring so steady-state pushes never allocate.
+func (q *flitQueue) reserve(n int) {
+	if len(q.buf) == 0 {
+		q.buf = make([]flitEntry, pow2(n))
+	}
 }
 
 // creditEntry is a credit on its way back upstream.
@@ -126,9 +152,9 @@ func (q *creditQueue) push(vc uint8, at int64) {
 	}
 	q.lastAt = at
 	if q.n == len(q.buf) {
-		q.growTo(2 * (len(q.buf) + 4))
+		q.grow(len(q.buf) * 2)
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = creditEntry{vc: vc, at: at}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = creditEntry{vc: vc, at: at}
 	q.n++
 }
 
@@ -141,16 +167,24 @@ func (q *creditQueue) peek() *creditEntry {
 
 func (q *creditQueue) pop() creditEntry {
 	e := q.buf[q.head]
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = (q.head + 1) & (len(q.buf) - 1)
 	q.n--
 	return e
 }
 
-func (q *creditQueue) growTo(cap int) {
-	nb := make([]creditEntry, cap)
+func (q *creditQueue) grow(want int) {
+	nb := make([]creditEntry, pow2(want))
+	mask := len(q.buf) - 1
 	for i := 0; i < q.n; i++ {
-		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+		nb[i] = q.buf[(q.head+i)&mask]
 	}
 	q.buf = nb
 	q.head = 0
+}
+
+// reserve pre-sizes an empty ring so steady-state pushes never allocate.
+func (q *creditQueue) reserve(n int) {
+	if len(q.buf) == 0 {
+		q.buf = make([]creditEntry, pow2(n))
+	}
 }

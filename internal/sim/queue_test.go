@@ -7,22 +7,20 @@ import (
 
 func TestPktQueueFIFO(t *testing.T) {
 	var q pktQueue
-	if q.pop() != nil || q.peek() != nil || q.len() != 0 {
+	if q.pop() != nilRef || q.peek() != nilRef || q.len() != 0 {
 		t.Fatal("empty queue misbehaves")
 	}
-	pkts := make([]*Packet, 20)
-	for i := range pkts {
-		pkts[i] = &Packet{ID: uint64(i)}
-		q.push(pkts[i])
+	for i := int32(0); i < 20; i++ {
+		q.push(i)
 	}
 	if q.len() != 20 {
 		t.Fatalf("len = %d", q.len())
 	}
-	for i := range pkts {
-		if q.peek() != pkts[i] {
+	for i := int32(0); i < 20; i++ {
+		if q.peek() != i {
 			t.Fatalf("peek out of order at %d", i)
 		}
-		if q.pop() != pkts[i] {
+		if q.pop() != i {
 			t.Fatalf("pop out of order at %d", i)
 		}
 	}
@@ -35,25 +33,25 @@ func TestPktQueueWrapAround(t *testing.T) {
 	// Interleave pushes and pops so head wraps around the ring multiple
 	// times, including across growth.
 	var q pktQueue
-	next := uint64(0)
-	want := uint64(0)
+	next := int32(0)
+	want := int32(0)
 	for round := 0; round < 200; round++ {
 		for i := 0; i < 3; i++ {
-			q.push(&Packet{ID: next})
+			q.push(next)
 			next++
 		}
 		for i := 0; i < 2; i++ {
-			p := q.pop()
-			if p == nil || p.ID != want {
-				t.Fatalf("round %d: popped %v, want %d", round, p, want)
+			ref := q.pop()
+			if ref != want {
+				t.Fatalf("round %d: popped %d, want %d", round, ref, want)
 			}
 			want++
 		}
 	}
 	for q.len() > 0 {
-		p := q.pop()
-		if p.ID != want {
-			t.Fatalf("drain: popped %d, want %d", p.ID, want)
+		ref := q.pop()
+		if ref != want {
+			t.Fatalf("drain: popped %d, want %d", ref, want)
 		}
 		want++
 	}
@@ -62,14 +60,31 @@ func TestPktQueueWrapAround(t *testing.T) {
 	}
 }
 
+func TestQueueCapacityStaysPowerOfTwo(t *testing.T) {
+	// The masked wrap is only correct on power-of-two rings; growth must
+	// preserve the invariant from every starting size.
+	var q pktQueue
+	for i := int32(0); i < 1000; i++ {
+		q.push(i)
+		if c := len(q.buf); c&(c-1) != 0 {
+			t.Fatalf("capacity %d not a power of two after %d pushes", c, i+1)
+		}
+	}
+	for i := int32(0); i < 1000; i++ {
+		if q.pop() != i {
+			t.Fatalf("order lost at %d", i)
+		}
+	}
+}
+
 func TestFlitQueueOrderAndGrowth(t *testing.T) {
 	var q flitQueue
 	for i := 0; i < 100; i++ {
-		q.push(flitEntry{pkt: &Packet{ID: uint64(i)}, vc: uint8(i % 3), at: int64(i)})
+		q.push(flitEntry{ref: int32(i), vc: uint8(i % 3), at: int64(i)})
 	}
 	for i := 0; i < 100; i++ {
 		e := q.peek()
-		if e == nil || e.pkt.ID != uint64(i) || e.at != int64(i) {
+		if e == nil || e.ref != int32(i) || e.at != int64(i) {
 			t.Fatalf("entry %d out of order", i)
 		}
 		q.pop()
@@ -117,26 +132,6 @@ func TestCreditQueuePropertyFIFOCount(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
-	}
-}
-
-func TestPacketPoolReuse(t *testing.T) {
-	var pool packetPool
-	p1 := pool.get()
-	p1.ID = 42
-	p1.Minimal = true
-	pool.put(p1)
-	p2 := pool.get()
-	if p2 != p1 {
-		t.Error("pool did not reuse the freed packet")
-	}
-	if p2.ID != 0 || p2.Minimal {
-		t.Error("pool did not reset the packet")
-	}
-	// Getting again allocates fresh.
-	p3 := pool.get()
-	if p3 == p2 {
-		t.Error("pool returned an in-use packet")
 	}
 }
 

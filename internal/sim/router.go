@@ -18,6 +18,9 @@ type link struct {
 	credits creditQueue
 }
 
+// nilLink is the "no channel on this port" link id.
+const nilLink int32 = -1
+
 // Router holds the per-router simulation state.
 //
 // The modelled router is two-stage buffered, like the YARC router the
@@ -25,11 +28,11 @@ type link struct {
 // crossbar is never the bottleneck (Section 4.2):
 //
 //   - Arriving flits occupy a credit-managed input-buffer slot per
-//     (input port, VC) and queue in waitQ[outPort][vc], the virtual
-//     output queue of their next hop.
+//     (input port, VC) and queue in waitQ, the virtual output queue of
+//     their next hop.
 //   - The crossbar moves any number of flits per cycle from waitQ into
-//     the bounded output buffer outQ[outPort][vc] (depth outDepth); the
-//     move frees the input slot and returns its credit upstream.
+//     the bounded output buffer outQ (depth outDepth per VC); the move
+//     frees the input slot and returns its credit upstream.
 //   - Each output channel sends at most one flit per cycle from outQ —
 //     channel bandwidth is the real constraint.
 //
@@ -38,6 +41,10 @@ type link struct {
 // credits dry up — the backpressure chain of the paper's Figure 13 —
 // while traffic crossing the same router toward uncongested outputs is
 // unaffected.
+//
+// All per-(port, VC) state lives in flat slices indexed port*vcs+vc
+// (the pv helper), so a router's working set is a handful of
+// contiguous arrays rather than a tree of small allocations.
 type Router struct {
 	// ID is the router's index in the topology.
 	ID    int
@@ -48,30 +55,30 @@ type Router struct {
 	outDepth int
 
 	// srcQ[port] is the unbounded source (injection) queue of the
-	// terminal attached at `port`; nil entry for non-terminal ports.
+	// terminal attached at `port`; unused for non-terminal ports.
 	srcQ []pktQueue
 
-	// waitQ[port][vc] holds flits routed to output `port`, VC `vc`, that
-	// have not crossed the crossbar yet; these flits still occupy their
-	// input-buffer slots. Terminal outputs (ejection) drain directly
-	// from waitQ.
-	waitQ [][]pktQueue
+	// waitQ[pv(port,vc)] holds flits routed to output `port`, VC `vc`,
+	// that have not crossed the crossbar yet; these flits still occupy
+	// their input-buffer slots. Terminal outputs (ejection) drain
+	// directly from waitQ.
+	waitQ []pktQueue
 
-	// outQ[port][vc] is the bounded output buffer feeding the channel.
-	outQ [][]pktQueue
+	// outQ[pv(port,vc)] is the bounded output buffer feeding the channel.
+	outQ []pktQueue
 
-	// inOcc[port][vc] counts flits delivered on (port, vc) that have not
-	// crossed the crossbar (or ejected) yet; bounded by depth via
+	// inOcc[pv(port,vc)] counts flits delivered on (port, vc) that have
+	// not crossed the crossbar (or ejected) yet; bounded by depth via
 	// upstream credits. Terminal ports use vc 0: the slot a packet
 	// admitted from the source queue occupies.
-	inOcc [][]int
+	inOcc []int32
 
-	// credits[port][vc] counts free downstream buffer slots for output
-	// `port`, VC `vc`. Terminal (ejection) ports have no credits.
-	credits [][]int
+	// credits[pv(port,vc)] counts free downstream buffer slots for
+	// output `port`, VC `vc`. Terminal (ejection) ports have no credits.
+	credits []int32
 
 	// outRR[port] round-robins over the VCs of an output.
-	outRR []int
+	outRR []int32
 
 	// Credit round-trip state (Section 4.3.2): ctq holds the send
 	// timestamp of every outstanding flit per output port; td is the
@@ -85,50 +92,61 @@ type Router struct {
 	crossTd []int64
 	tcrt0   []int64
 
-	// outLink[port] carries flits out of this router (nil for terminal
-	// ports); inLink[port] is the reverse direction feeding the input
-	// (nil for terminal ports).
-	outLink []*link
-	inLink  []*link
+	// outLink[port] is the id of the channel carrying flits out of this
+	// router (nilLink for terminal ports); inLink[port] the reverse
+	// direction feeding the input. Ids index Network.links.
+	outLink []int32
+	inLink  []int32
 
 	// isTerm marks terminal ports.
 	isTerm []bool
 }
 
-func newRouter(id int, topo Topology, cfg Config) *Router {
+// pv maps (port, vc) to the index of the flat per-(port, VC) slices.
+func (r *Router) pv(port, vc int) int { return port*r.vcs + vc }
+
+func (r *Router) init(id int, topo Topology, cfg Config) {
 	radix := topo.Radix(id)
 	out := cfg.OutDepth
 	if out == 0 {
 		out = 4
 	}
-	r := &Router{
-		ID:       id,
-		radix:    radix,
-		vcs:      cfg.VCs,
-		depth:    cfg.BufDepth,
-		outDepth: out,
-	}
+	r.ID = id
+	r.radix = radix
+	r.vcs = cfg.VCs
+	r.depth = cfg.BufDepth
+	r.outDepth = out
 	r.srcQ = make([]pktQueue, radix)
-	r.waitQ = make([][]pktQueue, radix)
-	r.outQ = make([][]pktQueue, radix)
-	r.inOcc = make([][]int, radix)
-	r.credits = make([][]int, radix)
-	r.outRR = make([]int, radix)
+	r.waitQ = make([]pktQueue, radix*cfg.VCs)
+	r.outQ = make([]pktQueue, radix*cfg.VCs)
+	r.inOcc = make([]int32, radix*cfg.VCs)
+	r.credits = make([]int32, radix*cfg.VCs)
+	r.outRR = make([]int32, radix)
 	r.ctq = make([]creditQueue, radix)
 	r.td = make([]int64, radix)
 	r.crossTd = make([]int64, radix)
 	r.tcrt0 = make([]int64, radix)
-	r.outLink = make([]*link, radix)
-	r.inLink = make([]*link, radix)
+	r.outLink = make([]int32, radix)
+	r.inLink = make([]int32, radix)
 	r.isTerm = make([]bool, radix)
 	for p := 0; p < radix; p++ {
-		r.waitQ[p] = make([]pktQueue, cfg.VCs)
-		r.outQ[p] = make([]pktQueue, cfg.VCs)
-		r.inOcc[p] = make([]int, cfg.VCs)
-		r.credits[p] = make([]int, cfg.VCs)
+		r.outLink[p] = nilLink
+		r.inLink[p] = nilLink
 		r.isTerm[p] = topo.Port(id, p).Class == topology.ClassTerminal
 	}
-	return r
+	// Pre-size every ring to its steady-state bound so the hot loop
+	// never allocates: waitQ backs the input buffer (depth flits per
+	// VC), outQ is bounded by outDepth, and a port's credit queue holds
+	// at most one credit per downstream buffer slot. Source queues are
+	// unbounded but start at the buffer depth and amortize from there.
+	for p := 0; p < radix; p++ {
+		r.srcQ[p].reserve(cfg.BufDepth)
+		r.ctq[p].reserve(cfg.VCs * cfg.BufDepth)
+		for vc := 0; vc < cfg.VCs; vc++ {
+			r.waitQ[r.pv(p, vc)].reserve(cfg.BufDepth)
+			r.outQ[r.pv(p, vc)].reserve(out)
+		}
+	}
 }
 
 // Radix returns the number of ports (terminal ports included).
@@ -138,20 +156,21 @@ func (r *Router) Radix() int { return r.radix }
 func (r *Router) IsTerminalPort(p int) bool { return r.isTerm[p] }
 
 // Credits returns the free downstream slots for (port, vc).
-func (r *Router) Credits(port, vc int) int { return r.credits[port][vc] }
+func (r *Router) Credits(port, vc int) int { return int(r.credits[r.pv(port, vc)]) }
 
 // DownstreamQueueVC estimates the occupancy of the downstream buffer fed
 // by output `port`, VC `vc`: buffer depth minus available credits. It
 // counts flits buffered downstream plus flits and credits in flight.
 func (r *Router) DownstreamQueueVC(port, vc int) int {
-	return r.depth - r.credits[port][vc]
+	return r.depth - int(r.credits[r.pv(port, vc)])
 }
 
 // DownstreamQueue sums DownstreamQueueVC over all VCs of `port`.
 func (r *Router) DownstreamQueue(port int) int {
 	q := 0
+	base := port * r.vcs
 	for vc := 0; vc < r.vcs; vc++ {
-		q += r.depth - r.credits[port][vc]
+		q += r.depth - int(r.credits[base+vc])
 	}
 	return q
 }
@@ -160,15 +179,17 @@ func (r *Router) DownstreamQueue(port int) int {
 // output `port`, in the output buffer or still waiting to cross.
 func (r *Router) PendingOut(port int) int {
 	n := 0
+	base := port * r.vcs
 	for vc := 0; vc < r.vcs; vc++ {
-		n += r.waitQ[port][vc].len() + r.outQ[port][vc].len()
+		n += r.waitQ[base+vc].len() + r.outQ[base+vc].len()
 	}
 	return n
 }
 
 // PendingOutVC returns the queued count for (port, vc).
 func (r *Router) PendingOutVC(port, vc int) int {
-	return r.waitQ[port][vc].len() + r.outQ[port][vc].len()
+	i := r.pv(port, vc)
+	return r.waitQ[i].len() + r.outQ[i].len()
 }
 
 // OutputQueue is the congestion estimate UGAL uses for an output port:
@@ -186,7 +207,7 @@ func (r *Router) OutputQueueVC(port, vc int) int {
 }
 
 // InputOccupancy returns the occupied slots of input buffer (port, vc).
-func (r *Router) InputOccupancy(port, vc int) int { return r.inOcc[port][vc] }
+func (r *Router) InputOccupancy(port, vc int) int { return int(r.inOcc[r.pv(port, vc)]) }
 
 // SourceQueueLen returns the backlog of the source queue on terminal
 // port p (0 for non-terminal ports).
@@ -203,9 +224,9 @@ func (r *Router) BufferedPackets() int {
 	n := 0
 	for p := 0; p < r.radix; p++ {
 		n += r.srcQ[p].len()
-		for vc := 0; vc < r.vcs; vc++ {
-			n += r.waitQ[p][vc].len() + r.outQ[p][vc].len()
-		}
+	}
+	for i := range r.waitQ {
+		n += r.waitQ[i].len() + r.outQ[i].len()
 	}
 	return n
 }

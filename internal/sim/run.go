@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"dragonfly/internal/metrics"
 	"dragonfly/internal/stats"
 )
 
@@ -24,8 +25,11 @@ type RunConfig struct {
 	Histogram bool
 	// HistWidth is the histogram bucket width in cycles (default 2).
 	HistWidth int64
-	// Utilization, when true, collects per-channel flit counts over the
-	// measurement window (Figure 9).
+	// Utilization, when true, attaches a metrics.ChannelUtil collector
+	// for the measurement and drain phases and reports it in
+	// Result.ChannelUtil (Figure 9). Any collector already attached via
+	// Network.AttachMetrics keeps receiving events alongside it and is
+	// restored when the run ends.
 	Utilization bool
 	// StallLimit aborts the run if no flit moves for this many cycles
 	// while packets are in flight — a deadlock detector. Default 10000.
@@ -65,6 +69,11 @@ type Result struct {
 	// active fault plan; Accepted is normalised by it, so a degraded
 	// network is judged on the capacity it still has.
 	AliveTerminals int
+	// ChannelUtil holds the per-channel flit counts collected over the
+	// measurement and drain phases (nil unless RunConfig.Utilization).
+	// Its window is set to MeasureCycles, so Utilization(link) is the
+	// fraction of the measurement window the channel was busy.
+	ChannelUtil *metrics.ChannelUtil
 }
 
 // Run executes the full warm-up/measure/drain sequence on net and
@@ -120,14 +129,19 @@ func Run(net *Network, rc RunConfig) (Result, error) {
 	// Reset the measurement state on every exit path, error returns
 	// included: a stall error inside the measurement loop must not leave
 	// net.measuring/net.countWindow set (tagging warm-up packets and
-	// corrupting window counts of any later run on this network), and the
+	// corrupting window counts of any later run on this network), the
 	// ejection observer must never outlive the run whose Result it
-	// captures. The observer is cleared first so no packet can be counted
-	// against a half-reset window.
+	// captures, and the collector this run attached must not keep
+	// counting (or keep costing) in later runs on the same network — a
+	// Utilization run followed by a plain run must leave the plain run on
+	// the zero-cost path. The observer is cleared first so no packet can
+	// be counted against a half-reset window.
+	prevCollector := net.Metrics()
 	defer func() {
 		net.OnEject = nil
 		net.measuring = false
 		net.countWindow = false
+		net.AttachMetrics(prevCollector)
 	}()
 
 	net.SetLoad(rc.Load)
@@ -161,8 +175,13 @@ func Run(net *Network, rc RunConfig) (Result, error) {
 
 	// Measurement.
 	if rc.Utilization {
-		net.EnableUtilization()
-		net.ResetUtilization()
+		res.ChannelUtil = metrics.NewChannelUtil(net.NumLinks())
+		res.ChannelUtil.SetWindow(int64(rc.MeasureCycles))
+		if prevCollector != nil {
+			net.AttachMetrics(metrics.Multi{prevCollector, res.ChannelUtil})
+		} else {
+			net.AttachMetrics(res.ChannelUtil)
+		}
 	}
 	net.measuring = true
 	net.countWindow = true

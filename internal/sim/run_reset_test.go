@@ -12,11 +12,11 @@ import (
 // and credits exhaust and the stall detector fires.
 type loopRouting struct{}
 
-func (loopRouting) Name() string                            { return "loop" }
-func (loopRouting) Decide(*Network, *Router, *Packet) error { return nil }
-func (loopRouting) NextHop(_ *Network, _ *Router, pkt *Packet) error {
-	pkt.NextPort = 1 // the single local port of a p=1, a=2 router
-	pkt.NextVC = 0
+func (loopRouting) Name() string                              { return "loop" }
+func (loopRouting) Decide(*Network, *Router, *HopState) error { return nil }
+func (loopRouting) NextHop(_ *Network, _ *Router, hs *HopState) error {
+	hs.Port = 1 // the single local port of a p=1, a=2 router
+	hs.VC = 0
 	return nil
 }
 

@@ -3,6 +3,7 @@ package sim_test
 import (
 	"testing"
 
+	"dragonfly/internal/metrics"
 	"dragonfly/internal/routing"
 	"dragonfly/internal/sim"
 	"dragonfly/internal/topology"
@@ -352,7 +353,8 @@ func TestUGALPrefersMinimalOnUniform(t *testing.T) {
 func TestChannelUtilizationCounting(t *testing.T) {
 	d := testDragonfly(t)
 	net := newNet(t, d, testConfig(), routing.NewMIN(d), traffic.NewUniformRandom(d.Nodes()))
-	net.EnableUtilization()
+	util := metrics.NewChannelUtil(net.NumLinks())
+	net.AttachMetrics(util)
 	net.SetLoad(0.3)
 	for i := 0; i < 1000; i++ {
 		net.Step()
@@ -361,24 +363,35 @@ func TestChannelUtilizationCounting(t *testing.T) {
 	seen := false
 	for r := 0; r < d.Routers(); r++ {
 		for p := 0; p < d.Radix(r); p++ {
-			if b := net.ChannelBusy(r, p); b >= 0 {
-				total += b
-				seen = true
-				if b > 1000 {
-					t.Fatalf("channel (%d,%d) busy %d cycles out of 1000", r, p, b)
-				}
+			l := net.LinkID(r, p)
+			if l < 0 {
+				continue
+			}
+			b := util.Busy(l)
+			total += b
+			seen = true
+			if b > 1000 {
+				t.Fatalf("channel (%d,%d) busy %d cycles out of 1000", r, p, b)
 			}
 		}
 	}
 	if !seen || total == 0 {
 		t.Error("no utilization recorded")
 	}
-	net.ResetUtilization()
-	for r := 0; r < d.Routers(); r++ {
-		for p := 0; p < d.Radix(r); p++ {
-			if b := net.ChannelBusy(r, p); b > 0 {
-				t.Fatal("reset did not clear counters")
-			}
+	util.Reset()
+	for l := 0; l < util.Links(); l++ {
+		if util.Busy(l) > 0 {
+			t.Fatal("reset did not clear counters")
+		}
+	}
+	// Detach: later steps must not count.
+	net.AttachMetrics(nil)
+	for i := 0; i < 100; i++ {
+		net.Step()
+	}
+	for l := 0; l < util.Links(); l++ {
+		if util.Busy(l) > 0 {
+			t.Fatal("detached collector still counting")
 		}
 	}
 }
@@ -462,5 +475,47 @@ func TestMixIsDeterministic(t *testing.T) {
 	}
 	if sim.Mix(1) == sim.Mix(2) {
 		t.Error("Mix(1) == Mix(2)")
+	}
+}
+
+// TestMetricsRunThenPlainRunBitIdentical proves the zero-cost
+// instrumentation never changes results: on the same network, a
+// Utilization run followed by a plain run produces exactly the numbers
+// the plain-plain sequence does — Run's cleanup must fully detach the
+// collector it attached.
+func TestMetricsRunThenPlainRunBitIdentical(t *testing.T) {
+	second := func(firstUtil bool) sim.Result {
+		d := testDragonfly(t)
+		net := newNet(t, d, testConfig(), routing.NewUGAL(d, routing.UGALLocalVCH), traffic.NewUniformRandom(d.Nodes()))
+		rc := sim.RunConfig{Load: 0.2, WarmupCycles: 300, MeasureCycles: 300, DrainCycles: 10000}
+		rc.Utilization = firstUtil
+		first, err := sim.Run(net, rc)
+		if err != nil {
+			t.Fatalf("first run: %v", err)
+		}
+		if firstUtil && first.ChannelUtil == nil {
+			t.Fatal("Utilization run did not collect channel utilization")
+		}
+		if net.Metrics() != nil {
+			t.Fatal("collector still attached after Run returned")
+		}
+		rc.Utilization = false
+		res, err := sim.Run(net, rc)
+		if err != nil {
+			t.Fatalf("second run: %v", err)
+		}
+		return res
+	}
+	withUtil := second(true)
+	plain := second(false)
+	if withUtil.Accepted != plain.Accepted ||
+		withUtil.Latency.Mean() != plain.Latency.Mean() ||
+		withUtil.Latency.Count() != plain.Latency.Count() ||
+		withUtil.Cycles != plain.Cycles {
+		t.Errorf("plain run after a metrics run diverged: accepted %v vs %v, latency %v/%d vs %v/%d, cycles %d vs %d",
+			withUtil.Accepted, plain.Accepted,
+			withUtil.Latency.Mean(), withUtil.Latency.Count(),
+			plain.Latency.Mean(), plain.Latency.Count(),
+			withUtil.Cycles, plain.Cycles)
 	}
 }
