@@ -8,16 +8,24 @@
 // fraction below 1, a count at or above 1), -fail-routers fails whole
 // routers by id, and -fail-seed picks which channels die. Routing
 // detours around the holes; truly unreachable packets are dropped and
-// reported.
+// reported. -fault-timeline schedules transient fail/recover events at
+// simulation cycles instead of a standing plan.
+//
+// Exit codes: 0 on success, 1 on bad flags or configuration, 2 when
+// the deadlock detector stalls the run (diagnostics are printed), 3
+// when the run completes but unroutable drops dominate the delivered
+// traffic.
 //
 // Usage:
 //
 //	dfly-sim -alg UGAL-L_VCH -pattern WC -load 0.3 -p 4 -a 8 -h 4 -buf 16
 //	dfly-sim -alg UGAL-L -pattern WC -sweep 0.05:0.5:0.05 -jobs 4
 //	dfly-sim -alg UGAL-L -fail-global 0.1 -fail-seed 7 -sweep 0.1:0.9:0.1
+//	dfly-sim -alg UGAL-L -fault-timeline "@2000 fail global=0.25; @8000 recover all"
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +39,16 @@ import (
 	"dragonfly/internal/parallel"
 	"dragonfly/internal/sim"
 	"dragonfly/internal/topology"
+)
+
+// The exit-code contract (documented in the package comment): distinct
+// non-zero codes let scripts tell a misconfiguration from a wedged
+// simulation from a run that technically finished but lost most of its
+// traffic to unroutable drops.
+const (
+	exitBadConfig  = 1
+	exitStalled    = 2
+	exitUnroutable = 3
 )
 
 func main() {
@@ -51,9 +69,10 @@ func main() {
 		sweep   = flag.String("sweep", "", "run a load sweep from:to:step (e.g. 0.1:0.9:0.1) instead of a single load")
 		jobs    = flag.Int("jobs", 0, "concurrent simulations for -sweep (0 = GOMAXPROCS)")
 
-		failGlobal  = flag.Float64("fail-global", 0, "fail random global channels: a fraction if < 1, a count if >= 1")
-		failRouters = flag.String("fail-routers", "", "fail whole routers: comma-separated router ids")
-		failSeed    = flag.Uint64("fail-seed", 1, "seed for the random fault draws")
+		failGlobal    = flag.Float64("fail-global", 0, "fail random global channels: a fraction if < 1, a count if >= 1")
+		failRouters   = flag.String("fail-routers", "", "fail whole routers: comma-separated router ids")
+		failSeed      = flag.Uint64("fail-seed", 1, "seed for the random fault draws")
+		faultTimeline = flag.String("fault-timeline", "", `transient fault schedule: ";"-separated "@CYCLE fail|recover ARGS" events (e.g. "@2000 fail global=0.25; @8000 recover all"); random draws use -fail-seed; exclusive with -fail-global/-fail-routers`)
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -103,6 +122,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sys, err = applyTimeline(sys, *faultTimeline, *failGlobal, *failRouters, *failSeed)
+	if err != nil {
+		fatal(err)
+	}
 
 	rc := sim.RunConfig{
 		WarmupCycles:  *warmup,
@@ -119,7 +142,7 @@ func main() {
 	fmt.Printf("simulating %v, %s routing, %s traffic, load %.3f\n", sys.Topo, alg, pat, *load)
 	res, err := sys.Run(alg, pat, *load, rc)
 	if err != nil {
-		fatal(err)
+		fatalRun(err)
 	}
 
 	fmt.Printf("offered load:      %.3f flits/cycle/terminal\n", res.Offered)
@@ -134,7 +157,11 @@ func main() {
 	fmt.Printf("latency p99:       %.0f cycles (max %.0f)\n", pctl(res), res.Latency.Max())
 	fmt.Printf("saturated:         %v\n", res.Saturated)
 	fmt.Printf("simulated cycles:  %d\n", res.Cycles)
-	if sys.Degraded() != nil {
+	if sys.Timeline() != nil {
+		fmt.Printf("killed in flight:  %d packets (on channels severed by the timeline)\n", res.KilledInFlight)
+		fmt.Printf("rerouted:          %d packets (rescued off failing routers)\n", res.Rerouted)
+		fmt.Printf("dropped packets:   %d (unroutable during degraded epochs)\n", res.Dropped)
+	} else if sys.Degraded() != nil {
 		fmt.Printf("dropped packets:   %d (unroutable under the fault plan)\n", res.Dropped)
 	}
 	if *hist && res.Hist != nil {
@@ -148,6 +175,39 @@ func main() {
 				int64(i)*res.Hist.Width, (int64(i)+1)*res.Hist.Width-1, c, bar(res.Hist.Fraction(i)))
 		}
 	}
+	checkUnroutable(res.Dropped, res.Latency.Count())
+}
+
+// applyTimeline parses the -fault-timeline spec, compiles it against
+// the system's topology and attaches it. Exclusive with the static
+// -fail-* flags: standing faults belong in the timeline's @0 events.
+func applyTimeline(sys *core.System, spec string, failGlobal float64, failRouters string, failSeed uint64) (*core.System, error) {
+	if spec == "" {
+		return sys, nil
+	}
+	if failGlobal != 0 || failRouters != "" {
+		return nil, fmt.Errorf("-fault-timeline cannot be combined with -fail-global/-fail-routers (schedule standing faults at @0 instead)")
+	}
+	tl, err := fault.ParseTimeline(spec, failSeed)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := tl.Compile(sys.Topo)
+	if err != nil {
+		return nil, err
+	}
+	tsys, err := sys.WithTimeline(sched)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("fault timeline (seed %d): %d events compiled to %d epochs\n",
+		failSeed, tl.Events(), len(sched.Epochs))
+	for _, e := range sched.Epochs {
+		r, g, l, tm := e.View.FaultCounts()
+		fmt.Printf("  @%-8d %d routers, %d global, %d local, %d terminal channels down; connected=%v\n",
+			e.Start, r, g, l, tm, e.View.Connected())
+	}
+	return tsys, nil
 }
 
 // applyFaults builds a fault plan from the -fail-* flags and attaches it
@@ -204,27 +264,39 @@ func runSweep(sys *core.System, alg core.Algorithm, pat core.Pattern, spec strin
 		sys.Topo, alg, pat, len(loads), pool.Jobs())
 	pts, err := sys.SweepPool(pool, alg, pat, loads, rc, 2)
 	if err != nil {
-		fatal(err)
+		fatalRun(err)
 	}
-	degraded := sys.Degraded() != nil
-	if degraded {
+	timeline := sys.Timeline() != nil
+	degraded := sys.Degraded() != nil || timeline
+	switch {
+	case timeline:
+		fmt.Printf("%-10s %12s %12s %10s %10s %10s\n", "load", "latency", "accepted", "saturated", "dropped", "killed")
+	case degraded:
 		fmt.Printf("%-10s %12s %12s %10s %10s\n", "load", "latency", "accepted", "saturated", "dropped")
-	} else {
+	default:
 		fmt.Printf("%-10s %12s %12s %10s\n", "load", "latency", "accepted", "saturated")
 	}
+	var dropped, delivered int64
 	for _, p := range pts {
+		dropped += p.Result.Dropped
+		delivered += p.Result.Latency.Count()
 		mark := ""
 		if p.Result.Saturated {
 			mark = " *"
 		}
-		if degraded {
+		switch {
+		case timeline:
+			fmt.Printf("%-10.3f %12.1f %12.3f %10v %10d %10d%s\n",
+				p.Load, p.Result.Latency.Mean(), p.Result.Accepted, p.Result.Saturated, p.Result.Dropped, p.Result.KilledInFlight, mark)
+		case degraded:
 			fmt.Printf("%-10.3f %12.1f %12.3f %10v %10d%s\n",
 				p.Load, p.Result.Latency.Mean(), p.Result.Accepted, p.Result.Saturated, p.Result.Dropped, mark)
-		} else {
+		default:
 			fmt.Printf("%-10.3f %12.1f %12.3f %10v%s\n",
 				p.Load, p.Result.Latency.Mean(), p.Result.Accepted, p.Result.Saturated, mark)
 		}
 	}
+	checkUnroutable(dropped, delivered)
 }
 
 // parseSweep parses a from:to:step load range.
@@ -268,7 +340,44 @@ func bar(frac float64) string {
 	return string(out)
 }
 
+// fatal reports a configuration-level failure (bad flags, bad
+// topology/run parameters) and exits with the bad-config status.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dfly-sim:", err)
-	os.Exit(1)
+	os.Exit(exitBadConfig)
+}
+
+// fatalRun reports a failed simulation run. A deadlock-detector stall
+// gets its own exit status plus a diagnostics dump (cycle, phase,
+// active fault epoch, hottest input-buffer VCs) so a wedged run can be
+// debugged from the output alone; everything else is a plain fatal.
+func fatalRun(err error) {
+	var se *sim.StallError
+	if !errors.As(err, &se) {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "dfly-sim:", err)
+	fmt.Fprintln(os.Stderr, "stall diagnostics:")
+	fmt.Fprintf(os.Stderr, "  cycle %d (%s phase): no flit moved for %d cycles, %d packets in flight\n",
+		se.Cycle, se.Phase, se.StallLimit, se.InFlight)
+	fmt.Fprintf(os.Stderr, "  epoch %d: %d routers, %d global / %d local / %d terminal channels dead\n",
+		se.Epoch, se.DeadRouters, se.DeadGlobal, se.DeadLocal, se.DeadTerminal)
+	for _, h := range se.Hot {
+		fmt.Fprintf(os.Stderr, "  router %d port %d vc %d: %d flits buffered, %d packets waiting on the port\n",
+			h.Router, h.Port, h.VC, h.Occupancy, h.Waiting)
+	}
+	os.Exit(exitStalled)
+}
+
+// checkUnroutable exits with the unroutable status when a completed
+// run (or sweep) dropped at least as many packets as it delivered —
+// the topology is so degraded that the results measure packet loss,
+// not network performance.
+func checkUnroutable(dropped, delivered int64) {
+	if dropped == 0 || dropped < delivered {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "dfly-sim: unroutable drops dominate: %d packets dropped vs %d delivered\n",
+		dropped, delivered)
+	os.Exit(exitUnroutable)
 }

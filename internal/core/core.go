@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 
+	"dragonfly/internal/fault"
 	"dragonfly/internal/parallel"
 	"dragonfly/internal/routing"
 	"dragonfly/internal/sim"
@@ -107,6 +108,9 @@ type System struct {
 	Topo *topology.Dragonfly
 	cfg  SystemConfig
 	deg  *topology.Degraded
+	// sched is the compiled fault timeline (nil for static systems);
+	// attach with WithTimeline.
+	sched *fault.Schedule
 }
 
 // NewSystem validates the configuration and builds the topology.
@@ -151,6 +155,39 @@ func (s *System) WithFaults(fv topology.FaultView) *System {
 	return &ns
 }
 
+// WithTimeline returns a system sharing this one's topology and
+// defaults but simulating under the compiled fault timeline sched (nil
+// clears it): every network the derived system builds starts in the
+// schedule's first epoch and swaps views at the scheduled cycles. The
+// usual flow is: build the pristine system, build a fault.Timeline,
+// compile it against sys.Topo, and attach the schedule here. A timeline
+// cannot be combined with a static fault plan — the timeline's epoch 0
+// is where standing faults belong.
+func (s *System) WithTimeline(sched *fault.Schedule) (*System, error) {
+	ns := *s
+	ns.sched = nil
+	if sched == nil {
+		return &ns, nil
+	}
+	if s.cfg.Faults != nil {
+		return nil, fmt.Errorf("core: a fault timeline cannot be combined with a static fault plan (put standing faults in the timeline's cycle-0 events)")
+	}
+	if len(sched.Epochs) == 0 {
+		return nil, fmt.Errorf("core: fault schedule has no epochs")
+	}
+	for i, e := range sched.Epochs {
+		if e.View == nil || e.View.Dragonfly != s.Topo {
+			return nil, fmt.Errorf("core: fault schedule epoch %d was not compiled against this system's topology", i)
+		}
+	}
+	ns.sched = sched
+	return &ns, nil
+}
+
+// Timeline returns the attached fault schedule, or nil when the system
+// is static.
+func (s *System) Timeline() *fault.Schedule { return s.sched }
+
 // Degraded returns the fault-aware topology view, or nil when no fault
 // plan is attached.
 func (s *System) Degraded() *topology.Degraded { return s.deg }
@@ -183,7 +220,13 @@ func (s *System) SimConfig(alg Algorithm) sim.Config {
 // Routing constructs the routing algorithm alg over this topology (the
 // fault-aware view of it when a fault plan is attached).
 func (s *System) Routing(alg Algorithm) (sim.Routing, error) {
-	t := s.routingTopo()
+	return routingOver(alg, s.routingTopo())
+}
+
+// routingOver constructs alg over an explicit structural view — the
+// timeline path hands the per-network Switched view in here so routing
+// liveness queries follow the epoch swaps.
+func routingOver(alg Algorithm, t routing.Topo) (sim.Routing, error) {
 	switch alg {
 	case AlgMIN:
 		return routing.NewMIN(t), nil
@@ -224,13 +267,36 @@ func (s *System) Traffic(p Pattern) (sim.Traffic, error) {
 }
 
 // NewNetwork builds a fresh simulation network for (alg, pattern). Each
-// load point of a sweep should use a fresh network.
+// load point of a sweep should use a fresh network. With a timeline
+// attached, the network gets its own switchable topology view (epoch
+// swaps are per-network state, so concurrent sweep points stay
+// independent) and the schedule is installed before the first cycle.
 func (s *System) NewNetwork(alg Algorithm, pattern Pattern) (*sim.Network, error) {
-	rt, err := s.Routing(alg)
+	tr, err := s.Traffic(pattern)
 	if err != nil {
 		return nil, err
 	}
-	tr, err := s.Traffic(pattern)
+	if s.sched != nil {
+		sw := topology.NewSwitched(s.Topo)
+		sw.SetEpoch(s.sched.Epochs[0].View)
+		rt, err := routingOver(alg, sw)
+		if err != nil {
+			return nil, err
+		}
+		net, err := sim.New(sw, s.SimConfig(alg), rt, tr)
+		if err != nil {
+			return nil, err
+		}
+		epochs := make([]sim.Epoch, len(s.sched.Epochs))
+		for i, e := range s.sched.Epochs {
+			epochs[i] = sim.Epoch{Start: e.Start, View: e.View}
+		}
+		if err := net.SetTimeline(epochs); err != nil {
+			return nil, err
+		}
+		return net, nil
+	}
+	rt, err := s.Routing(alg)
 	if err != nil {
 		return nil, err
 	}

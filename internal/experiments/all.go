@@ -31,7 +31,7 @@ func Names() []string {
 	return []string{
 		"fig1", "table1", "fig2", "fig4", "fig6",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig14", "fig16",
-		"fig18", "fig19", "table2", "resilience",
+		"fig18", "fig19", "table2", "resilience", "transient",
 	}
 }
 
@@ -113,6 +113,8 @@ func (r Runner) run(s Scale, name string) ([]Exhibit, error) {
 		return []Exhibit{Table02()}, nil
 	case "resilience":
 		return wrapFs(Resilience(s))
+	case "transient":
+		return wrapFs(Transient(s))
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, Names())
 	}

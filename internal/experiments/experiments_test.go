@@ -236,3 +236,48 @@ func TestScaleLoads(t *testing.T) {
 		t.Errorf("coarse loads = %d points, want 3", got)
 	}
 }
+
+func TestTransientExhibit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiments")
+	}
+	s := Quick()
+	figs, err := Transient(s)
+	if err != nil {
+		t.Fatalf("Transient: %v", err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("Transient produced %d figures, want 2", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Series) != 2 {
+			t.Fatalf("%s has %d series, want 2", f.ID, len(f.Series))
+		}
+		for _, ser := range f.Series {
+			if len(ser.X) == 0 || len(ser.X) != len(ser.Y) {
+				t.Fatalf("%s series %s malformed: %d x, %d y", f.ID, ser.Name, len(ser.X), len(ser.Y))
+			}
+		}
+	}
+	// Acceptance: UGAL-L recovers to at least 95% of its pre-fault
+	// accepted rate after the repair.
+	fail, recov, end := s.TransientCycles()
+	for _, ser := range figs[0].Series {
+		if ser.Name != "UGAL-L" {
+			continue
+		}
+		pre, during, post := transientPhaseMeans(ser.X, ser.Y, fail, recov, end)
+		if pre <= 0 {
+			t.Fatalf("UGAL-L pre-fault throughput %.4f, expected > 0", pre)
+		}
+		if post < 0.95*pre {
+			t.Errorf("UGAL-L recovered to %.4f of pre-fault %.4f (%.0f%%), want >= 95%%", post, pre, 100*post/pre)
+		}
+		t.Logf("UGAL-L: pre %.4f during %.4f post %.4f (%.1f%% recovery)", pre, during, post, 100*post/pre)
+	}
+	var b bytes.Buffer
+	figs[0].Render(&b)
+	if !strings.Contains(b.String(), "killed in flight") {
+		t.Error("throughput figure notes missing the fault accounting")
+	}
+}

@@ -175,6 +175,101 @@ func (p *Plan) FailRandomRouters(w Wiring, k int) int {
 	return failed
 }
 
+// failedChannels enumerates the explicitly failed channels of class c,
+// each once, identified by its lower (router, port) endpoint, in
+// canonical ascending order — the repair-side mirror of channels().
+// Channels dead only because a router failed are not included: they are
+// not explicit channel faults and revive with the router.
+func (p *Plan) failedChannels(w Wiring, c topology.Class) []portKey {
+	var out []portKey
+	for r := 0; r < w.Routers(); r++ {
+		for i := 0; i < w.Radix(r); i++ {
+			pt := w.Port(r, i)
+			if pt.Class != c || !p.ports[portKey{r, i}] {
+				continue
+			}
+			if c != topology.ClassTerminal {
+				if pt.PeerRouter < r || (pt.PeerRouter == r && pt.PeerPort < i) {
+					continue
+				}
+			}
+			out = append(out, portKey{r, i})
+		}
+	}
+	return out
+}
+
+// RecoverRouter clears router r's failure. Channels that were failed
+// explicitly (FailChannel and friends) stay failed; channels dead only
+// because the router was down revive with it. Recovering a live router
+// is a no-op.
+func (p *Plan) RecoverRouter(r int) {
+	if !p.routers[r] {
+		return
+	}
+	delete(p.routers, r)
+	p.failedRouters--
+}
+
+// RecoverChannel clears the explicit failure of the channel attached at
+// (r, port), both endpoints. Recovering a live channel is a no-op; the
+// channel stays dead in derived views while either endpoint router is
+// still down.
+func (p *Plan) RecoverChannel(w Wiring, r, port int) {
+	if !p.ports[portKey{r, port}] {
+		return
+	}
+	pt := w.Port(r, port)
+	delete(p.ports, portKey{r, port})
+	if pt.Class != topology.ClassTerminal {
+		delete(p.ports, portKey{pt.PeerRouter, pt.PeerPort})
+	}
+	p.failedClass[pt.Class]--
+}
+
+// RecoverRandomChannels repairs k explicitly failed channels of class c
+// drawn uniformly, without replacement, from the plan's failed set,
+// returning the number actually repaired (fewer than k when fewer are
+// failed). The draws come from the same seeded chain as the failure
+// draws, so a fail/recover sequence is one deterministic stream.
+func (p *Plan) RecoverRandomChannels(w Wiring, c topology.Class, k int) int {
+	cand := p.failedChannels(w, c)
+	fixed := 0
+	for ; fixed < k && len(cand) > 0; fixed++ {
+		i := int(sim.Mix(sim.DeriveSeed(p.seed, p.ctr)) % uint64(len(cand)))
+		p.ctr++
+		p.RecoverChannel(w, cand[i].r, cand[i].p)
+		cand[i] = cand[len(cand)-1]
+		cand = cand[:len(cand)-1]
+	}
+	return fixed
+}
+
+// RecoverRandomRouters repairs k failed routers drawn uniformly, without
+// replacement, returning the number actually repaired.
+func (p *Plan) RecoverRandomRouters(k int) int {
+	cand := p.FailedRouters()
+	fixed := 0
+	for ; fixed < k && len(cand) > 0; fixed++ {
+		i := int(sim.Mix(sim.DeriveSeed(p.seed, p.ctr)) % uint64(len(cand)))
+		p.ctr++
+		p.RecoverRouter(cand[i])
+		cand[i] = cand[len(cand)-1]
+		cand = cand[:len(cand)-1]
+	}
+	return fixed
+}
+
+// RecoverAll clears every failure — routers and channels — returning
+// the plan to the pristine state. The draw counter is not reset: a
+// later random failure continues the same deterministic stream.
+func (p *Plan) RecoverAll() {
+	p.routers = make(map[int]bool)
+	p.ports = make(map[portKey]bool)
+	p.failedRouters = 0
+	p.failedClass = [3]int{}
+}
+
 // Counts returns the failed router count and the explicitly failed
 // channel counts by class (channels dead only because a router failed
 // are not included; topology.Degraded.FaultCounts reports those).

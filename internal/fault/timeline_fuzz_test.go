@@ -1,0 +1,147 @@
+package fault
+
+import (
+	"testing"
+
+	"dragonfly/internal/topology"
+)
+
+// fuzzDF builds the small fuzz topology (36 routers, 72 terminals).
+func fuzzDF(f *testing.F) *topology.Dragonfly {
+	f.Helper()
+	d, err := topology.NewDragonfly(2, 4, 2, 0)
+	if err != nil {
+		f.Fatalf("NewDragonfly: %v", err)
+	}
+	return d
+}
+
+// checkSchedule asserts the structural contract of a compiled
+// schedule: epochs sorted from cycle 0, every epoch live, and — the
+// core property — no undeclared dead state: every port the view marks
+// dead traces back to a declared fault (its own endpoint, its peer's
+// endpoint, or a down endpoint router), and every declared fault is
+// actually dead in the view.
+func checkSchedule(t *testing.T, d *topology.Dragonfly, sched *Schedule) {
+	t.Helper()
+	if len(sched.Epochs) == 0 {
+		t.Fatal("schedule has no epochs")
+	}
+	if sched.Epochs[0].Start != 0 {
+		t.Fatalf("first epoch starts at %d, want 0", sched.Epochs[0].Start)
+	}
+	for i, e := range sched.Epochs {
+		if i > 0 && e.Start <= sched.Epochs[i-1].Start {
+			t.Fatalf("epoch starts not strictly increasing: %d then %d", sched.Epochs[i-1].Start, e.Start)
+		}
+		if e.View == nil || e.Faults == nil {
+			t.Fatalf("epoch %d missing view or fault set", i)
+		}
+		if e.View.AliveTerminals() == 0 {
+			t.Fatalf("epoch %d compiled with zero live terminals", i)
+		}
+		for r := 0; r < d.Routers(); r++ {
+			if e.Faults.RouterDown(r) && !e.View.RouterDown(r) {
+				t.Fatalf("epoch %d: router %d declared down but alive in view", i, r)
+			}
+			for p := 0; p < d.Radix(r); p++ {
+				port := d.Port(r, p)
+				declared := e.Faults.PortDown(r, p) || e.Faults.RouterDown(r)
+				if port.PeerRouter >= 0 {
+					declared = declared || e.Faults.PortDown(port.PeerRouter, port.PeerPort) ||
+						e.Faults.RouterDown(port.PeerRouter)
+				}
+				if declared && e.View.Alive(r, p) {
+					t.Fatalf("epoch %d: port (%d,%d) declared dead but alive in view", i, r, p)
+				}
+				if !declared && !e.View.Alive(r, p) {
+					t.Fatalf("epoch %d: port (%d,%d) dead in view with no declared cause", i, r, p)
+				}
+				// Channel deadness is endpoint-symmetric.
+				if port.PeerRouter >= 0 &&
+					e.View.Alive(r, p) != e.View.Alive(port.PeerRouter, port.PeerPort) {
+					t.Fatalf("epoch %d: port (%d,%d) and its peer disagree on liveness", i, r, p)
+				}
+			}
+		}
+	}
+}
+
+// FuzzTimelineCompile drives the compiler with arbitrary event
+// orderings built from the fuzz input and asserts that every schedule
+// it accepts satisfies checkSchedule — in particular that epoch
+// compilation never yields a dead port without a declared cause.
+func FuzzTimelineCompile(f *testing.F) {
+	d := fuzzDF(f)
+	f.Add(uint64(1), []byte{0, 10, 0, 3, 7, 20, 0, 0})
+	f.Add(uint64(2), []byte{2, 5, 0, 200, 4, 50, 1, 2, 7, 90, 0, 0})
+	f.Add(uint64(3), []byte{1, 0, 0, 25, 1, 0, 1, 80, 3, 30, 0, 2})
+	f.Add(uint64(4), []byte{})
+	f.Fuzz(func(t *testing.T, seed uint64, data []byte) {
+		tl := NewTimeline(seed)
+		classes := []topology.Class{topology.ClassGlobal, topology.ClassLocal, topology.ClassTerminal}
+		// Each 4-byte chunk is one event: (op, cycle, class, amount).
+		// Values are folded into valid builder inputs — the fuzz target
+		// exercises orderings and recover/fail interleavings, not the
+		// validation rejections (those have explicit tests).
+		for len(data) >= 4 {
+			op, cyc, cls, amt := data[0], data[1], data[2], data[3]
+			data = data[4:]
+			cycle := int64(cyc) * 7
+			c := classes[int(cls)%len(classes)]
+			count := int(amt % 8)
+			switch op % 8 {
+			case 0:
+				tl.FailChannelsAt(cycle, c, count)
+			case 1:
+				// Cap fractions so the terminal class cannot erase the
+				// machine (which Compile rightly rejects).
+				tl.FailFractionAt(cycle, c, float64(amt%90)/100)
+			case 2:
+				tl.FailRouterAt(cycle, int(amt)%d.Routers())
+			case 3:
+				tl.FailRoutersAt(cycle, count)
+			case 4:
+				tl.RecoverChannelsAt(cycle, c, count)
+			case 5:
+				tl.RecoverRouterAt(cycle, int(amt)%d.Routers())
+			case 6:
+				tl.RecoverRoutersAt(cycle, count)
+			case 7:
+				tl.RecoverAllAt(cycle)
+			}
+		}
+		sched, err := tl.Compile(d)
+		if err != nil {
+			// The only legitimate rejection for in-range inputs is a
+			// machine-erasing epoch (random router draws can kill every
+			// router that still has terminals).
+			return
+		}
+		checkSchedule(t, d, sched)
+	})
+}
+
+// FuzzParseTimeline throws arbitrary spec strings at the parser: it
+// must never panic, and everything it accepts must either compile into
+// a well-formed schedule or be rejected by Compile's validation.
+func FuzzParseTimeline(f *testing.F) {
+	d := fuzzDF(f)
+	f.Add("@2000 fail global=0.25; @4000 fail router=7; @8000 recover all", uint64(1))
+	f.Add("@0 fail local=3; @10 recover local=1", uint64(2))
+	f.Add("@5 fail routers=2 global=1; @9 recover routers=1", uint64(3))
+	f.Add("", uint64(4))
+	f.Add(";;;", uint64(5))
+	f.Add("@1 fail terminal=1", uint64(6))
+	f.Fuzz(func(t *testing.T, spec string, seed uint64) {
+		tl, err := ParseTimeline(spec, seed)
+		if err != nil {
+			return
+		}
+		sched, err := tl.Compile(d)
+		if err != nil {
+			return
+		}
+		checkSchedule(t, d, sched)
+	})
+}

@@ -31,6 +31,17 @@ type Collector interface {
 	Drop(router int)
 	// Stall records a deadlock-detector trip at the given cycle.
 	Stall(cycle int64)
+	// Kill records a packet destroyed in flight by a fault-timeline
+	// epoch swap (its channel failed or its router went down) at the
+	// given router. Distinct from Drop: a killed packet was routable,
+	// the fault simply destroyed it.
+	Kill(router int)
+	// Reroute records a queued packet re-pointed at a new output after
+	// an epoch swap killed its chosen channel, at the given router.
+	Reroute(router int)
+	// EpochSwitch records a fault-timeline epoch becoming active at the
+	// given cycle.
+	EpochSwitch(cycle int64, epoch int)
 }
 
 // ChannelUtil counts flits per channel, the measurement behind the
@@ -61,6 +72,15 @@ func (u *ChannelUtil) Drop(int) {}
 
 // Stall implements Collector (no-op).
 func (u *ChannelUtil) Stall(int64) {}
+
+// Kill implements Collector (no-op).
+func (u *ChannelUtil) Kill(int) {}
+
+// Reroute implements Collector (no-op).
+func (u *ChannelUtil) Reroute(int) {}
+
+// EpochSwitch implements Collector (no-op).
+func (u *ChannelUtil) EpochSwitch(int64, int) {}
 
 // Busy returns the flit count recorded on link id since the last Reset.
 func (u *ChannelUtil) Busy(link int) int64 { return u.busy[link] }
@@ -107,12 +127,21 @@ type Full struct {
 	// Drops counts packets dropped as unroutable; Stalls counts
 	// deadlock-detector trips.
 	Drops, Stalls int64
+	// Kills counts packets destroyed in flight by fault-timeline epoch
+	// swaps; Reroutes counts queued packets re-pointed after a swap.
+	Kills, Reroutes int64
+	// Epochs counts fault-timeline epoch activations (the pristine
+	// starting epoch included when a timeline is installed).
+	Epochs int64
+	// LastEpoch is the most recently activated epoch index, -1 before
+	// any EpochSwitch event.
+	LastEpoch int
 }
 
 // NewFull returns a Full collector for a network with the given number
 // of links.
 func NewFull(links int) *Full {
-	return &Full{Channels: NewChannelUtil(links)}
+	return &Full{Channels: NewChannelUtil(links), LastEpoch: -1}
 }
 
 // ChannelFlit implements Collector.
@@ -140,6 +169,18 @@ func (f *Full) Drop(int) { f.Drops++ }
 
 // Stall implements Collector.
 func (f *Full) Stall(int64) { f.Stalls++ }
+
+// Kill implements Collector.
+func (f *Full) Kill(int) { f.Kills++ }
+
+// Reroute implements Collector.
+func (f *Full) Reroute(int) { f.Reroutes++ }
+
+// EpochSwitch implements Collector.
+func (f *Full) EpochSwitch(_ int64, epoch int) {
+	f.Epochs++
+	f.LastEpoch = epoch
+}
 
 // RTTMean returns the average credit round-trip sample, 0 if none.
 func (f *Full) RTTMean() float64 {
@@ -184,5 +225,26 @@ func (m Multi) Drop(router int) {
 func (m Multi) Stall(cycle int64) {
 	for _, c := range m {
 		c.Stall(cycle)
+	}
+}
+
+// Kill implements Collector.
+func (m Multi) Kill(router int) {
+	for _, c := range m {
+		c.Kill(router)
+	}
+}
+
+// Reroute implements Collector.
+func (m Multi) Reroute(router int) {
+	for _, c := range m {
+		c.Reroute(router)
+	}
+}
+
+// EpochSwitch implements Collector.
+func (m Multi) EpochSwitch(cycle int64, epoch int) {
+	for _, c := range m {
+		c.EpochSwitch(cycle, epoch)
 	}
 }

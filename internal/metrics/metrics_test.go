@@ -37,6 +37,11 @@ func TestFullCollector(t *testing.T) {
 	f.CreditRTT(0, 1, 30)
 	f.Drop(5)
 	f.Stall(100)
+	f.Kill(3)
+	f.Kill(4)
+	f.Reroute(3)
+	f.EpochSwitch(0, 0)
+	f.EpochSwitch(200, 1)
 	if f.Channels.Busy(0) != 1 {
 		t.Error("channel count not recorded")
 	}
@@ -51,6 +56,18 @@ func TestFullCollector(t *testing.T) {
 	}
 	if f.Drops != 1 || f.Stalls != 1 {
 		t.Errorf("drop/stall counters wrong: %d %d", f.Drops, f.Stalls)
+	}
+	if f.Kills != 2 || f.Reroutes != 1 {
+		t.Errorf("kill/reroute counters wrong: %d %d", f.Kills, f.Reroutes)
+	}
+	if f.Epochs != 2 || f.LastEpoch != 1 {
+		t.Errorf("epoch counters wrong: %d last %d", f.Epochs, f.LastEpoch)
+	}
+}
+
+func TestFullLastEpochStartsUnset(t *testing.T) {
+	if f := NewFull(1); f.LastEpoch != -1 {
+		t.Errorf("LastEpoch = %d before any EpochSwitch, want -1", f.LastEpoch)
 	}
 }
 
@@ -70,9 +87,28 @@ func TestMultiFansOut(t *testing.T) {
 	m.CreditRTT(0, 0, 7)
 	m.Drop(1)
 	m.Stall(9)
+	m.Kill(2)
+	m.Reroute(2)
+	m.EpochSwitch(100, 1)
 	for i, f := range []*Full{a, b} {
 		if f.Channels.Busy(1) != 1 || f.RTTCount != 1 || f.Drops != 1 || f.Stalls != 1 || len(f.VCHist) != 4 {
 			t.Errorf("collector %d missed events", i)
 		}
+		if f.Kills != 1 || f.Reroutes != 1 || f.Epochs != 1 || f.LastEpoch != 1 {
+			t.Errorf("collector %d missed fault events", i)
+		}
+	}
+}
+
+// TestChannelUtilFaultEventsNoOp pins that the narrow collector
+// ignores the fault-timeline events (they must stay free for sweeps
+// that only count flits).
+func TestChannelUtilFaultEventsNoOp(t *testing.T) {
+	u := NewChannelUtil(2)
+	u.Kill(0)
+	u.Reroute(1)
+	u.EpochSwitch(50, 2)
+	if u.Busy(0) != 0 || u.Busy(1) != 0 {
+		t.Error("fault events perturbed channel counters")
 	}
 }

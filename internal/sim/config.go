@@ -68,19 +68,20 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports the first problem with the configuration.
+// Validate reports the first problem with the configuration as a
+// *ConfigError.
 func (c Config) Validate() error {
 	switch {
 	case c.BufDepth < 1:
-		return fmt.Errorf("sim: BufDepth must be >= 1 (got %d)", c.BufDepth)
+		return &ConfigError{Param: "BufDepth", Value: fmt.Sprint(c.BufDepth), Reason: "input buffers need at least one slot"}
 	case c.OutDepth < 0:
-		return fmt.Errorf("sim: OutDepth must be >= 0 (got %d)", c.OutDepth)
+		return &ConfigError{Param: "OutDepth", Value: fmt.Sprint(c.OutDepth), Reason: "output depth must be >= 0 (0 takes the default)"}
 	case c.VCs < 1:
-		return fmt.Errorf("sim: VCs must be >= 1 (got %d)", c.VCs)
+		return &ConfigError{Param: "VCs", Value: fmt.Sprint(c.VCs), Reason: "at least one virtual channel is required"}
 	case c.LocalLatency < 1:
-		return fmt.Errorf("sim: LocalLatency must be >= 1 (got %d)", c.LocalLatency)
+		return &ConfigError{Param: "LocalLatency", Value: fmt.Sprint(c.LocalLatency), Reason: "channel latencies are at least one cycle"}
 	case c.GlobalLatency < 1:
-		return fmt.Errorf("sim: GlobalLatency must be >= 1 (got %d)", c.GlobalLatency)
+		return &ConfigError{Param: "GlobalLatency", Value: fmt.Sprint(c.GlobalLatency), Reason: "channel latencies are at least one cycle"}
 	}
 	return nil
 }

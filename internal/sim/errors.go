@@ -67,6 +67,20 @@ type StallError struct {
 	// Hot lists the highest-occupancy input-buffer VCs (most occupied
 	// first, at most a handful) — the likely deadlock participants.
 	Hot []HotVC
+	// Epoch is the fault-timeline epoch the detector fired in (0 when
+	// no timeline is installed).
+	Epoch int
+	// DeadRouters, DeadGlobal, DeadLocal and DeadTerminal are the fault
+	// counts of the active view at detection time (all zero on a
+	// pristine network): a stall right after an epoch swap is usually
+	// livelock against these.
+	DeadRouters, DeadGlobal, DeadLocal, DeadTerminal int
+}
+
+// faulted reports that the stall happened under a non-trivial fault
+// state worth printing.
+func (e *StallError) faulted() bool {
+	return e.Epoch > 0 || e.DeadRouters > 0 || e.DeadGlobal > 0 || e.DeadLocal > 0 || e.DeadTerminal > 0
 }
 
 // Error renders the stall with its diagnostic snapshot.
@@ -74,6 +88,10 @@ func (e *StallError) Error() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "sim: no flit moved for %d cycles during %s (deadlock?) at cycle %d; %d packets in flight",
 		e.StallLimit, e.Phase, e.Cycle, e.InFlight)
+	if e.faulted() {
+		fmt.Fprintf(&b, "; epoch %d (%d routers, %d global / %d local / %d terminal channels dead)",
+			e.Epoch, e.DeadRouters, e.DeadGlobal, e.DeadLocal, e.DeadTerminal)
+	}
 	if len(e.Hot) > 0 {
 		b.WriteString("; top occupancy:")
 		for i, h := range e.Hot {
@@ -115,6 +133,25 @@ func (e *UnroutableError) Error() string {
 
 // Unwrap makes errors.Is(err, ErrUnroutable) match.
 func (e *UnroutableError) Unwrap() error { return ErrUnroutable }
+
+// ConfigError reports an invalid configuration value (Config or
+// RunConfig): which parameter, what it was, and why it is rejected.
+// Validation happens before the simulation touches the value, so a bad
+// configuration is a typed error instead of a downstream panic (NaN
+// loads, for example, would otherwise silently never inject).
+type ConfigError struct {
+	// Param is the offending field name ("Load", "MeasureCycles", ...).
+	Param string
+	// Value is the rejected value, rendered.
+	Value string
+	// Reason says what the field requires.
+	Reason string
+}
+
+// Error describes the rejected parameter.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("sim: invalid config: %s = %s (%s)", e.Param, e.Value, e.Reason)
+}
 
 // InvariantError reports a violated flow-control invariant (buffer or
 // credit overflow): a simulator or routing bug. It fails the run it

@@ -41,6 +41,16 @@ type Network struct {
 	aliveTerms int
 	dropped    int64
 
+	// Timeline state (SetTimeline): the epoch schedule, the governing
+	// epoch index, per-router down flags for transition detection, the
+	// fault-kill and reroute counters, and the rescue scratch buffer.
+	epochs         []Epoch
+	epochIdx       int
+	routerDead     []bool
+	killedInFlight int64
+	rerouted       int64
+	rescueBuf      []int32
+
 	// Injection control.
 	load float64
 
@@ -271,6 +281,11 @@ func (n *Network) nextHop(r *Router, ref int32) error {
 // and counted, not errors.
 func (n *Network) Step() error {
 	n.now++
+	if n.epochs != nil {
+		if err := n.advanceEpochs(); err != nil {
+			return err
+		}
+	}
 	if err := n.deliver(); err != nil {
 		return err
 	}
@@ -293,6 +308,13 @@ func (n *Network) Step() error {
 func (n *Network) deliver() error {
 	for li := range n.links {
 		l := &n.links[li]
+		if l.dead {
+			// A dead channel delivers nothing in either direction: its
+			// queues are frozen until a revival retrains them. (Static
+			// fault plans never queue anything on a dead link, so this
+			// skip changes nothing for them.)
+			continue
+		}
 		for {
 			f := l.flits.peek()
 			if f == nil || f.at > n.now {
@@ -605,6 +627,15 @@ func (n *Network) stallError(phase Phase, limit int64) *StallError {
 		Cycle:      n.now,
 		StallLimit: limit,
 		InFlight:   n.inFlight,
+		Epoch:      n.epochIdx,
+	}
+	// Attach the fault context: a stall right after an epoch swap is
+	// usually livelock against the dead channels, and the per-class dead
+	// counts say which.
+	if n.epochs != nil {
+		e.DeadRouters, e.DeadGlobal, e.DeadLocal, e.DeadTerminal = n.epochs[n.epochIdx].View.FaultCounts()
+	} else if fc, ok := n.topo.(interface{ FaultCounts() (int, int, int, int) }); ok {
+		e.DeadRouters, e.DeadGlobal, e.DeadLocal, e.DeadTerminal = fc.FaultCounts()
 	}
 	for i := range n.routers {
 		r := &n.routers[i]

@@ -126,6 +126,24 @@ func (q *flitQueue) reserve(n int) {
 	}
 }
 
+// clear empties the queue, keeping its storage.
+func (q *flitQueue) clear() {
+	q.head = 0
+	q.n = 0
+}
+
+// countVC counts the queued flits travelling on vc (invariant checks).
+func (q *flitQueue) countVC(vc uint8) int {
+	c := 0
+	mask := len(q.buf) - 1
+	for i := 0; i < q.n; i++ {
+		if q.buf[(q.head+i)&mask].vc == vc {
+			c++
+		}
+	}
+	return c
+}
+
 // creditEntry is a credit on its way back upstream.
 type creditEntry struct {
 	vc uint8
@@ -187,4 +205,24 @@ func (q *creditQueue) reserve(n int) {
 	if len(q.buf) == 0 {
 		q.buf = make([]creditEntry, pow2(n))
 	}
+}
+
+// clear empties the queue and resets the monotone-delivery clamp,
+// keeping the storage (link retraining after a fault revival).
+func (q *creditQueue) clear() {
+	q.head = 0
+	q.n = 0
+	q.lastAt = 0
+}
+
+// countVC counts the queued credits for vc (invariant checks).
+func (q *creditQueue) countVC(vc uint8) int {
+	c := 0
+	mask := len(q.buf) - 1
+	for i := 0; i < q.n; i++ {
+		if q.buf[(q.head+i)&mask].vc == vc {
+			c++
+		}
+	}
+	return c
 }

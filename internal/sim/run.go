@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"dragonfly/internal/metrics"
 	"dragonfly/internal/stats"
@@ -36,6 +37,33 @@ type RunConfig struct {
 	StallLimit int64
 }
 
+// Validate reports the first problem with the run parameters as a
+// *ConfigError. Run calls it before touching the network, so a NaN load
+// or a non-positive measurement window is rejected up front instead of
+// surfacing as a division by zero or a run that silently never injects.
+// A zero warm-up is valid (deliberately cold-started stress tests use
+// it); only negative phase lengths and an empty measurement window are
+// not.
+func (rc RunConfig) Validate() error {
+	switch {
+	case math.IsNaN(rc.Load) || math.IsInf(rc.Load, 0):
+		return &ConfigError{Param: "Load", Value: fmt.Sprint(rc.Load), Reason: "load must be a finite fraction in [0,1]"}
+	case rc.Load < 0 || rc.Load > 1:
+		return &ConfigError{Param: "Load", Value: fmt.Sprint(rc.Load), Reason: "load is a fraction of channel capacity in [0,1]"}
+	case rc.WarmupCycles < 0:
+		return &ConfigError{Param: "WarmupCycles", Value: fmt.Sprint(rc.WarmupCycles), Reason: "warm-up must be >= 0 cycles"}
+	case rc.MeasureCycles <= 0:
+		return &ConfigError{Param: "MeasureCycles", Value: fmt.Sprint(rc.MeasureCycles), Reason: "the measurement window needs at least one cycle"}
+	case rc.DrainCycles < 0:
+		return &ConfigError{Param: "DrainCycles", Value: fmt.Sprint(rc.DrainCycles), Reason: "the drain cap must be >= 0 cycles"}
+	case rc.HistWidth < 0:
+		return &ConfigError{Param: "HistWidth", Value: fmt.Sprint(rc.HistWidth), Reason: "bucket width must be >= 0 (0 takes the default)"}
+	case rc.StallLimit < 0:
+		return &ConfigError{Param: "StallLimit", Value: fmt.Sprint(rc.StallLimit), Reason: "the stall horizon must be >= 0 (0 takes the default)"}
+	}
+	return nil
+}
+
 // DefaultRunConfig returns measurement parameters suited to the 1K-node
 // evaluation network.
 func DefaultRunConfig(load float64) RunConfig {
@@ -65,6 +93,16 @@ type Result struct {
 	// wrapping ErrUnroutable). Always 0 on a pristine or still-connected
 	// topology.
 	Dropped int64
+	// KilledInFlight is the number of packets destroyed by fault-timeline
+	// epoch swaps during this run: flits caught on a channel that failed,
+	// or buffered in a router that went down. Distinct from Dropped, which
+	// counts routing-level give-ups on packets that were still intact.
+	// Always 0 without a timeline.
+	KilledInFlight int64
+	// Rerouted is the number of queued packets an epoch swap re-pointed
+	// at a new output after their previously chosen channel died. Always
+	// 0 without a timeline.
+	Rerouted int64
 	// AliveTerminals is the number of terminals injecting under the
 	// active fault plan; Accepted is normalised by it, so a degraded
 	// network is judged on the capacity it still has.
@@ -81,12 +119,8 @@ type Result struct {
 // successive runs at increasing load on a fresh network per load point
 // are the intended usage.
 func Run(net *Network, rc RunConfig) (Result, error) {
-	if rc.Load < 0 || rc.Load > 1 {
-		return Result{}, fmt.Errorf("sim: load %v out of [0,1]", rc.Load)
-	}
-	if rc.WarmupCycles < 0 || rc.MeasureCycles <= 0 || rc.DrainCycles < 0 {
-		return Result{}, fmt.Errorf("sim: invalid phase lengths (warmup=%d measure=%d drain=%d)",
-			rc.WarmupCycles, rc.MeasureCycles, rc.DrainCycles)
+	if err := rc.Validate(); err != nil {
+		return Result{}, err
 	}
 	if rc.StallLimit <= 0 {
 		rc.StallLimit = 10000
@@ -146,6 +180,8 @@ func Run(net *Network, rc RunConfig) (Result, error) {
 
 	net.SetLoad(rc.Load)
 	dropped0 := net.dropped
+	killed0 := net.killedInFlight
+	rerouted0 := net.rerouted
 	res.AliveTerminals = net.aliveTerms
 	stalled := func() bool {
 		return net.inFlight > 0 && net.now-net.lastMove > rc.StallLimit
@@ -205,6 +241,8 @@ func Run(net *Network, rc RunConfig) (Result, error) {
 	}
 	res.Cycles = net.now
 	res.Dropped = net.dropped - dropped0
+	res.KilledInFlight = net.killedInFlight - killed0
+	res.Rerouted = net.rerouted - rerouted0
 	res.Saturated = res.DrainTimeout || res.Accepted < rc.Load*0.95
 	return res, nil
 }

@@ -1,6 +1,8 @@
 package sim_test
 
 import (
+	"errors"
+	"math"
 	"testing"
 
 	"dragonfly/internal/metrics"
@@ -399,14 +401,55 @@ func TestChannelUtilizationCounting(t *testing.T) {
 func TestRunConfigValidation(t *testing.T) {
 	d := testDragonfly(t)
 	net := newNet(t, d, testConfig(), routing.NewMIN(d), traffic.NewUniformRandom(d.Nodes()))
-	if _, err := sim.Run(net, sim.RunConfig{Load: -0.1, MeasureCycles: 10}); err == nil {
-		t.Error("negative load accepted")
+	cases := []struct {
+		name  string
+		rc    sim.RunConfig
+		param string
+	}{
+		{"negative load", sim.RunConfig{Load: -0.1, MeasureCycles: 10}, "Load"},
+		{"load > 1", sim.RunConfig{Load: 1.5, MeasureCycles: 10}, "Load"},
+		{"NaN load", sim.RunConfig{Load: math.NaN(), MeasureCycles: 10}, "Load"},
+		{"+Inf load", sim.RunConfig{Load: math.Inf(1), MeasureCycles: 10}, "Load"},
+		{"-Inf load", sim.RunConfig{Load: math.Inf(-1), MeasureCycles: 10}, "Load"},
+		{"negative warmup", sim.RunConfig{Load: 0.1, WarmupCycles: -1, MeasureCycles: 10}, "WarmupCycles"},
+		{"zero measure", sim.RunConfig{Load: 0.1, MeasureCycles: 0}, "MeasureCycles"},
+		{"negative measure", sim.RunConfig{Load: 0.1, MeasureCycles: -5}, "MeasureCycles"},
+		{"negative drain", sim.RunConfig{Load: 0.1, MeasureCycles: 10, DrainCycles: -1}, "DrainCycles"},
+		{"negative hist width", sim.RunConfig{Load: 0.1, MeasureCycles: 10, HistWidth: -2}, "HistWidth"},
+		{"negative stall limit", sim.RunConfig{Load: 0.1, MeasureCycles: 10, StallLimit: -1}, "StallLimit"},
 	}
-	if _, err := sim.Run(net, sim.RunConfig{Load: 1.5, MeasureCycles: 10}); err == nil {
-		t.Error("load > 1 accepted")
+	for _, c := range cases {
+		_, err := sim.Run(net, c.rc)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		var ce *sim.ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error %v is not a *ConfigError", c.name, err)
+			continue
+		}
+		if ce.Param != c.param {
+			t.Errorf("%s: rejected parameter %q, want %q (%v)", c.name, ce.Param, c.param, err)
+		}
 	}
-	if _, err := sim.Run(net, sim.RunConfig{Load: 0.1, MeasureCycles: 0}); err == nil {
-		t.Error("zero measure cycles accepted")
+	// Zero warm-up is valid: cold-start stress tests rely on it.
+	if err := (sim.RunConfig{Load: 0.1, MeasureCycles: 10}).Validate(); err != nil {
+		t.Errorf("zero warm-up rejected: %v", err)
+	}
+}
+
+func TestConfigErrorTyped(t *testing.T) {
+	err := sim.Config{BufDepth: 0, VCs: 3, LocalLatency: 1, GlobalLatency: 1}.Validate()
+	var ce *sim.ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Config.Validate error %v is not a *ConfigError", err)
+	}
+	if ce.Param != "BufDepth" {
+		t.Errorf("rejected parameter %q, want BufDepth", ce.Param)
+	}
+	if ce.Error() == "" || ce.Value != "0" {
+		t.Errorf("unexpected rendering: %q (value %q)", ce.Error(), ce.Value)
 	}
 }
 
