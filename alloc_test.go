@@ -1,0 +1,91 @@
+package dragonfly_test
+
+// TestSteadyStateZeroAlloc pins the observability-off contract: with no
+// collector attached, a warmed network simulates without allocating.
+// The warm-up pays for packet storage and queue growth once; after it,
+// the arena free-list and the pre-sized rings recycle everything, and
+// the metrics branches are nil-guarded out. CI's bench-smoke job runs
+// this test so a stray allocation on the hot path fails the build
+// instead of quietly eroding BENCH_sim.json.
+
+import (
+	"testing"
+
+	"dragonfly/internal/core"
+	"dragonfly/internal/obs"
+)
+
+func steadyNet(t *testing.T) interface {
+	Step() error
+	InFlight() int
+} {
+	t.Helper()
+	sys, err := core.NewSystem(core.SystemConfig{P: 2, A: 4, H: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := sys.NewNetwork(core.AlgUGALLVCH, core.PatternUR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetLoad(0.2)
+	for cyc := 0; cyc < 3000; cyc++ {
+		if err := net.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net
+}
+
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	net := steadyNet(t)
+	var stepErr error
+	allocs := testing.AllocsPerRun(2000, func() {
+		if err := net.Step(); err != nil {
+			stepErr = err
+		}
+	})
+	if stepErr != nil {
+		t.Fatal(stepErr)
+	}
+	if allocs != 0 {
+		t.Errorf("steady-state Step allocated %.4f objects/cycle with collectors disabled, want 0", allocs)
+	}
+}
+
+// TestSteadyStateTracerBounded is the flip side: with a tracer
+// attached the hot path may allocate only while the trace ring grows to
+// its cap — once full, tracing steady state is allocation-free too.
+func TestSteadyStateTracerBounded(t *testing.T) {
+	sys, err := core.NewSystem(core.SystemConfig{P: 2, A: 4, H: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := sys.NewNetwork(core.AlgUGALLVCH, core.PatternUR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetLoad(0.2)
+	tr := obs.NewTracer(1, 0, 256)
+	net.AttachMetrics(tr)
+	for cyc := 0; cyc < 3000; cyc++ {
+		if err := net.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(tr.Records()); got != 256 {
+		t.Fatalf("trace ring holds %d records after warm-up, want the full 256", got)
+	}
+	var stepErr error
+	allocs := testing.AllocsPerRun(2000, func() {
+		if err := net.Step(); err != nil {
+			stepErr = err
+		}
+	})
+	if stepErr != nil {
+		t.Fatal(stepErr)
+	}
+	if allocs != 0 {
+		t.Errorf("tracing steady state allocated %.4f objects/cycle with a full ring, want 0", allocs)
+	}
+}

@@ -1,0 +1,61 @@
+package dragonfly_test
+
+// BenchmarkObsOverhead measures what attaching the observability layer
+// costs the simulation hot loop: one op is one Network.Step on the
+// paper's 1K-node machine (72-node under DFLY_BENCH_SCALE=quick) at
+// moderate uniform-random load, with nothing attached, with the
+// windowed time-series collector, with the sampled packet tracer (the
+// variant that arms the engine's per-hop instrumentation), and with
+// both stacked through metrics.Multi. PERFORMANCE.md quotes these
+// numbers; rerun with
+//
+//	go test -bench=ObsOverhead -benchtime=200000x -run='^$' .
+
+import (
+	"testing"
+
+	"dragonfly/internal/core"
+	"dragonfly/internal/metrics"
+	"dragonfly/internal/obs"
+)
+
+func BenchmarkObsOverhead(b *testing.B) {
+	variants := []struct {
+		name  string
+		build func(sys *core.System) metrics.Collector
+	}{
+		{"off", func(*core.System) metrics.Collector { return nil }},
+		{"windows", func(sys *core.System) metrics.Collector {
+			return obs.NewWindows(obs.WindowsConfig{Width: 100, Terminals: sys.Topo.Nodes()})
+		}},
+		{"trace-64", func(*core.System) metrics.Collector {
+			return obs.NewTracer(64, 1, 4096)
+		}},
+		{"windows+trace-64", func(sys *core.System) metrics.Collector {
+			return metrics.Multi{
+				obs.NewWindows(obs.WindowsConfig{Width: 100, Terminals: sys.Topo.Nodes()}),
+				obs.NewTracer(64, 1, 4096),
+			}
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			sys, _ := benchSystem(b, 0)
+			net, err := sys.NewNetwork(core.AlgUGALLVCH, core.PatternUR)
+			if err != nil {
+				b.Fatalf("NewNetwork: %v", err)
+			}
+			net.SetLoad(0.3)
+			if c := v.build(sys); c != nil {
+				net.AttachMetrics(c)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := net.Step(); err != nil {
+					b.Fatalf("Step: %v", err)
+				}
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@
 //	dfly-experiments -quick fig8     # one experiment, reduced scale
 //	dfly-experiments -jobs 8 fig16   # fan the sweeps over 8 workers
 //	dfly-experiments -list           # show experiment names
+//	dfly-experiments -json fig8      # machine-readable report on stdout
 //
 // Independent simulations (load points, series, whole exhibits) run
 // concurrently on -jobs workers (default: GOMAXPROCS). The rendered
@@ -28,6 +29,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment names and exit")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit one versioned JSON report instead of rendered text")
 	flag.Parse()
 
 	if *list {
@@ -45,6 +47,13 @@ func main() {
 	}
 
 	names := flag.Args()
+	if *jsonOut {
+		if err := r.RunJSON(os.Stdout, names); err != nil {
+			fmt.Fprintln(os.Stderr, "dfly-experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if len(names) > 0 && !*quiet {
 		workers := *jobs
 		if workers <= 0 {

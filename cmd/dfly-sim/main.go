@@ -11,6 +11,14 @@
 // reported. -fault-timeline schedules transient fail/recover events at
 // simulation cycles instead of a standing plan.
 //
+// Observability: -json replaces the text output with one versioned
+// JSON report (schema_version inside; informational prints move to
+// stderr). -window W adds a windowed time series (accepted rate,
+// latency, per-class utilization, VC-occupancy heatmap) to the report,
+// and -trace N samples ~1/N packets into per-hop trace records
+// (-trace-buf bounds the ring, -trace-seed picks the sample). The
+// series and trace flags need -json and a single run, not -sweep.
+//
 // Exit codes: 0 on success, 1 on bad flags or configuration, 2 when
 // the deadlock detector stalls the run (diagnostics are printed), 3
 // when the run completes but unroutable drops dominate the delivered
@@ -22,12 +30,14 @@
 //	dfly-sim -alg UGAL-L -pattern WC -sweep 0.05:0.5:0.05 -jobs 4
 //	dfly-sim -alg UGAL-L -fail-global 0.1 -fail-seed 7 -sweep 0.1:0.9:0.1
 //	dfly-sim -alg UGAL-L -fault-timeline "@2000 fail global=0.25; @8000 recover all"
+//	dfly-sim -alg UGAL-L -load 0.4 -json -window 250 -trace 64 > run.json
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -36,6 +46,7 @@ import (
 
 	"dragonfly/internal/core"
 	"dragonfly/internal/fault"
+	"dragonfly/internal/obs"
 	"dragonfly/internal/parallel"
 	"dragonfly/internal/sim"
 	"dragonfly/internal/topology"
@@ -68,6 +79,12 @@ func main() {
 		hist    = flag.Bool("hist", false, "print the latency histogram")
 		sweep   = flag.String("sweep", "", "run a load sweep from:to:step (e.g. 0.1:0.9:0.1) instead of a single load")
 		jobs    = flag.Int("jobs", 0, "concurrent simulations for -sweep (0 = GOMAXPROCS)")
+
+		jsonOut   = flag.Bool("json", false, "emit one versioned JSON report instead of text output")
+		window    = flag.Int64("window", 0, "with -json: collect a windowed time series, W cycles per window")
+		trace     = flag.Int("trace", 0, "with -json: sample ~1/N packets into per-hop trace records")
+		traceBuf  = flag.Int("trace-buf", 0, "trace ring capacity in hop records (0 = 4096)")
+		traceSeed = flag.Uint64("trace-seed", 0, "seed selecting which packets -trace samples")
 
 		failGlobal    = flag.Float64("fail-global", 0, "fail random global channels: a fraction if < 1, a count if >= 1")
 		failRouters   = flag.String("fail-routers", "", "fail whole routers: comma-separated router ids")
@@ -104,6 +121,22 @@ func main() {
 		}()
 	}
 
+	// In JSON mode stdout carries exactly one JSON document, so the
+	// informational prints (fault plans, timeline epochs) move to stderr.
+	info := io.Writer(os.Stdout)
+	if *jsonOut {
+		info = os.Stderr
+	}
+	if (*window != 0 || *trace != 0) && !*jsonOut {
+		fatal(fmt.Errorf("-window/-trace produce report fields: add -json"))
+	}
+	if (*window != 0 || *trace != 0) && *sweep != "" {
+		fatal(fmt.Errorf("-window/-trace apply to a single run, not -sweep"))
+	}
+	if *window < 0 || *trace < 0 || *traceBuf < 0 {
+		fatal(fmt.Errorf("-window/-trace/-trace-buf want non-negative values"))
+	}
+
 	alg, err := core.ParseAlgorithm(*algName)
 	if err != nil {
 		fatal(err)
@@ -118,11 +151,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sys, err = applyFaults(sys, *failGlobal, *failRouters, *failSeed)
+	sys, err = applyFaults(info, sys, *failGlobal, *failRouters, *failSeed)
 	if err != nil {
 		fatal(err)
 	}
-	sys, err = applyTimeline(sys, *faultTimeline, *failGlobal, *failRouters, *failSeed)
+	sys, err = applyTimeline(info, sys, *faultTimeline, *failGlobal, *failRouters, *failSeed)
 	if err != nil {
 		fatal(err)
 	}
@@ -135,14 +168,60 @@ func main() {
 	}
 
 	if *sweep != "" {
-		runSweep(sys, alg, pat, *sweep, *jobs, rc)
+		runSweep(sys, alg, pat, *sweep, *jobs, rc, *jsonOut, *seed)
 		return
 	}
 
-	fmt.Printf("simulating %v, %s routing, %s traffic, load %.3f\n", sys.Topo, alg, pat, *load)
-	res, err := sys.Run(alg, pat, *load, rc)
+	// The observability collectors attach through run options and watch
+	// the whole run, warm-up and drain included — a time series that
+	// starts at the measurement phase would hide the ramp.
+	var opts []core.RunOption
+	var win *obs.Windows
+	var tr *obs.Tracer
+	if *window > 0 {
+		probe, err := sys.NewNetwork(alg, pat)
+		if err != nil {
+			fatal(err)
+		}
+		win = obs.NewWindows(obs.WindowsConfig{
+			Width:       *window,
+			Terminals:   sys.Topo.Nodes(),
+			LinkClasses: obs.LinkClasses(probe),
+		})
+		opts = append(opts, core.WithCollector(win))
+	}
+	if *trace > 0 {
+		tr = obs.NewTracer(*trace, *traceSeed, *traceBuf)
+		opts = append(opts, core.WithTrace(tr))
+	}
+
+	if !*jsonOut {
+		fmt.Printf("simulating %v, %s routing, %s traffic, load %.3f\n", sys.Topo, alg, pat, *load)
+	}
+	res, err := sys.Run(alg, pat, *load, rc, opts...)
 	if err != nil {
 		fatalRun(err)
+	}
+
+	if *jsonOut {
+		rep := obs.NewReport("run")
+		rep.Topology = fmt.Sprintf("%v", sys.Topo)
+		rep.Algorithm = string(alg)
+		rep.Pattern = string(pat)
+		rep.Seed = *seed
+		rep.Points = []obs.Point{{Load: *load, Result: obs.MakeResult(res)}}
+		if win != nil {
+			win.Flush(res.Cycles)
+			rep.Windows = win.Windows()
+		}
+		if tr != nil {
+			rep.Trace = tr.Records()
+		}
+		if err := rep.Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+		checkUnroutable(res.Dropped, res.Latency.Count())
+		return
 	}
 
 	fmt.Printf("offered load:      %.3f flits/cycle/terminal\n", res.Offered)
@@ -181,7 +260,8 @@ func main() {
 // applyTimeline parses the -fault-timeline spec, compiles it against
 // the system's topology and attaches it. Exclusive with the static
 // -fail-* flags: standing faults belong in the timeline's @0 events.
-func applyTimeline(sys *core.System, spec string, failGlobal float64, failRouters string, failSeed uint64) (*core.System, error) {
+// Informational lines go to info (stderr in JSON mode).
+func applyTimeline(info io.Writer, sys *core.System, spec string, failGlobal float64, failRouters string, failSeed uint64) (*core.System, error) {
 	if spec == "" {
 		return sys, nil
 	}
@@ -200,11 +280,11 @@ func applyTimeline(sys *core.System, spec string, failGlobal float64, failRouter
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("fault timeline (seed %d): %d events compiled to %d epochs\n",
+	fmt.Fprintf(info, "fault timeline (seed %d): %d events compiled to %d epochs\n",
 		failSeed, tl.Events(), len(sched.Epochs))
 	for _, e := range sched.Epochs {
 		r, g, l, tm := e.View.FaultCounts()
-		fmt.Printf("  @%-8d %d routers, %d global, %d local, %d terminal channels down; connected=%v\n",
+		fmt.Fprintf(info, "  @%-8d %d routers, %d global, %d local, %d terminal channels down; connected=%v\n",
 			e.Start, r, g, l, tm, e.View.Connected())
 	}
 	return tsys, nil
@@ -213,7 +293,8 @@ func applyTimeline(sys *core.System, spec string, failGlobal float64, failRouter
 // applyFaults builds a fault plan from the -fail-* flags and attaches it
 // to the system. With no fault flags set the system is returned
 // unchanged (pristine fast paths, bit-identical to earlier versions).
-func applyFaults(sys *core.System, failGlobal float64, failRouters string, failSeed uint64) (*core.System, error) {
+// Informational lines go to info (stderr in JSON mode).
+func applyFaults(info io.Writer, sys *core.System, failGlobal float64, failRouters string, failSeed uint64) (*core.System, error) {
 	if failGlobal == 0 && failRouters == "" {
 		return sys, nil
 	}
@@ -245,26 +326,46 @@ func applyFaults(sys *core.System, failGlobal float64, failRouters string, failS
 	fsys := sys.WithFaults(plan)
 	deg := fsys.Degraded()
 	r, g, l, tm := deg.FaultCounts()
-	fmt.Printf("fault plan (seed %d): %d routers, %d global, %d local, %d terminal channels down; connected=%v, %d/%d terminals alive\n",
+	fmt.Fprintf(info, "fault plan (seed %d): %d routers, %d global, %d local, %d terminal channels down; connected=%v, %d/%d terminals alive\n",
 		failSeed, r, g, l, tm, deg.Connected(), deg.AliveTerminals(), sys.Topo.Nodes())
 	return fsys, nil
 }
 
 // runSweep runs a latency-load curve on a worker pool and prints it as
-// an aligned table, stopping two points after saturation like the
-// paper's plots.
-func runSweep(sys *core.System, alg core.Algorithm, pat core.Pattern, spec string, jobs int, rc sim.RunConfig) {
+// an aligned table (or one JSON report), stopping two points after
+// saturation like the paper's plots.
+func runSweep(sys *core.System, alg core.Algorithm, pat core.Pattern, spec string, jobs int, rc sim.RunConfig, jsonOut bool, seed uint64) {
 	loads, err := parseSweep(spec)
 	if err != nil {
 		fatal(err)
 	}
 	pool := parallel.New(jobs)
 	pool.SetLog(os.Stderr)
-	fmt.Printf("sweeping %v, %s routing, %s traffic: %d load points on %d workers\n",
-		sys.Topo, alg, pat, len(loads), pool.Jobs())
+	if !jsonOut {
+		fmt.Printf("sweeping %v, %s routing, %s traffic: %d load points on %d workers\n",
+			sys.Topo, alg, pat, len(loads), pool.Jobs())
+	}
 	pts, err := sys.SweepPool(pool, alg, pat, loads, rc, 2)
 	if err != nil {
 		fatalRun(err)
+	}
+	if jsonOut {
+		rep := obs.NewReport("sweep")
+		rep.Topology = fmt.Sprintf("%v", sys.Topo)
+		rep.Algorithm = string(alg)
+		rep.Pattern = string(pat)
+		rep.Seed = seed
+		var dropped, delivered int64
+		for _, p := range pts {
+			rep.Points = append(rep.Points, obs.Point{Load: p.Load, Result: obs.MakeResult(p.Result)})
+			dropped += p.Result.Dropped
+			delivered += p.Result.Latency.Count()
+		}
+		if err := rep.Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+		checkUnroutable(dropped, delivered)
+		return
 	}
 	timeline := sys.Timeline() != nil
 	degraded := sys.Degraded() != nil || timeline

@@ -308,11 +308,29 @@ func (s *System) NewNetwork(alg Algorithm, pattern Pattern) (*sim.Network, error
 }
 
 // Run builds a fresh network and executes one measured simulation at the
-// given load.
-func (s *System) Run(alg Algorithm, pattern Pattern, load float64, rc sim.RunConfig) (sim.Result, error) {
+// given load. Trailing options attach observability (WithCollector,
+// WithTrace) and progress reporting (WithProgress).
+func (s *System) Run(alg Algorithm, pattern Pattern, load float64, rc sim.RunConfig, opts ...RunOption) (sim.Result, error) {
+	o := applyOptions(opts)
+	res, err := s.runWith(alg, pattern, load, rc, &o)
+	if err != nil {
+		return res, err
+	}
+	if o.progress != nil {
+		o.progress(ProgressEvent{Algorithm: alg, Pattern: pattern, Load: load, Index: 0, Total: 1, Result: res})
+	}
+	return res, nil
+}
+
+// runWith is Run minus the progress callback: the piece SweepPool's
+// workers execute concurrently (progress stays serial, in the fold).
+func (s *System) runWith(alg Algorithm, pattern Pattern, load float64, rc sim.RunConfig, o *runOptions) (sim.Result, error) {
 	net, err := s.NewNetwork(alg, pattern)
 	if err != nil {
 		return sim.Result{}, err
+	}
+	if c := o.sink(); c != nil {
+		net.AttachMetrics(c)
 	}
 	rc.Load = load
 	return sim.Run(net, rc)
@@ -329,8 +347,8 @@ type SweepPoint struct {
 // saturations (0 disables early stopping). Load points are dispatched to
 // the process-wide shared worker pool (parallel.Default, sized to
 // GOMAXPROCS); use SweepPool to control the worker count.
-func (s *System) Sweep(alg Algorithm, pattern Pattern, loads []float64, rc sim.RunConfig, stopAfterSaturated int) ([]SweepPoint, error) {
-	return s.SweepPool(nil, alg, pattern, loads, rc, stopAfterSaturated)
+func (s *System) Sweep(alg Algorithm, pattern Pattern, loads []float64, rc sim.RunConfig, stopAfterSaturated int, opts ...RunOption) ([]SweepPoint, error) {
+	return s.SweepPool(nil, alg, pattern, loads, rc, stopAfterSaturated, opts...)
 }
 
 // SweepPool is Sweep running on an explicit worker pool (nil means
@@ -345,10 +363,16 @@ func (s *System) Sweep(alg Algorithm, pattern Pattern, loads []float64, rc sim.R
 // it (and discarding any speculative excess) exactly where the serial
 // sweep would have stopped. Errors behave like the serial sweep too: the
 // points before the first failing load are returned alongside the error.
-func (s *System) SweepPool(pool *parallel.Pool, alg Algorithm, pattern Pattern, loads []float64, rc sim.RunConfig, stopAfterSaturated int) ([]SweepPoint, error) {
+//
+// Options: a WithCollector/WithTrace sink observes every load point
+// (concurrently, when the pool runs several jobs — see WithCollector);
+// a WithProgress callback fires in the serial fold, in load order, and
+// never sees points a truncation discarded.
+func (s *System) SweepPool(pool *parallel.Pool, alg Algorithm, pattern Pattern, loads []float64, rc sim.RunConfig, stopAfterSaturated int, opts ...RunOption) ([]SweepPoint, error) {
 	if pool == nil {
 		pool = parallel.Default()
 	}
+	o := applyOptions(opts)
 	results := make([]sim.Result, len(loads))
 	errs := make([]error, len(loads))
 	var out []SweepPoint
@@ -362,7 +386,7 @@ func (s *System) SweepPool(pool *parallel.Pool, alg Algorithm, pattern Pattern, 
 		pool.ForEach(hi-lo, func(j int) error {
 			i := lo + j
 			pool.Work(func() {
-				results[i], errs[i] = s.Run(alg, pattern, loads[i], rc)
+				results[i], errs[i] = s.runWith(alg, pattern, loads[i], rc, &o)
 				pool.Logf("  %s/%s load %.3f done\n", alg, pattern, loads[i])
 			})
 			return nil
@@ -372,6 +396,9 @@ func (s *System) SweepPool(pool *parallel.Pool, alg Algorithm, pattern Pattern, 
 				return out, fmt.Errorf("core: %s/%s at load %.3f: %w", alg, pattern, loads[i], errs[i])
 			}
 			out = append(out, SweepPoint{Load: loads[i], Result: results[i]})
+			if o.progress != nil {
+				o.progress(ProgressEvent{Algorithm: alg, Pattern: pattern, Load: loads[i], Index: len(out) - 1, Total: len(loads), Result: results[i]})
+			}
 			if results[i].Saturated {
 				saturated++
 				if stopAfterSaturated > 0 && saturated >= stopAfterSaturated {

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"dragonfly/internal/metrics"
+	"dragonfly/internal/obs"
+	"dragonfly/internal/sim"
+)
+
+// RunOption customises System.Run, Sweep and SweepPool without
+// positional plumbing: observability and progress reporting attach as
+// trailing options, and call sites that want neither stay unchanged.
+type RunOption func(*runOptions)
+
+type runOptions struct {
+	collector metrics.Collector
+	tracer    *obs.Tracer
+	progress  func(ProgressEvent)
+}
+
+// ProgressEvent reports one completed load point to a WithProgress
+// callback.
+type ProgressEvent struct {
+	Algorithm Algorithm
+	Pattern   Pattern
+	Load      float64
+	// Index counts completed points (in load order) and Total the
+	// points requested; a single Run reports 0 of 1.
+	Index, Total int
+	Result       sim.Result
+}
+
+// WithCollector attaches c to every network the call builds, for the
+// whole run (warm-up included), stacking with any collector the run
+// itself attaches (RunConfig.Utilization). Under Sweep/SweepPool the
+// same collector observes every load point — and with more than one
+// pool worker, concurrently; share a collector across sweep points
+// only if it is synchronised or the pool runs one job.
+func WithCollector(c metrics.Collector) RunOption {
+	return func(o *runOptions) { o.collector = c }
+}
+
+// WithTrace attaches the sampled packet tracer, enabling the engine's
+// per-hop instrumentation (hop records with credit-stall cycles) for
+// the sampled packets. Combines with WithCollector via metrics.Multi.
+// The sharing caveat of WithCollector applies.
+func WithTrace(t *obs.Tracer) RunOption {
+	return func(o *runOptions) { o.tracer = t }
+}
+
+// WithProgress registers a callback invoked after each load point
+// completes. Under SweepPool the callback runs on the caller's
+// goroutine, serially and in load order, regardless of how the points
+// were scheduled — no synchronisation needed inside it.
+func WithProgress(fn func(ProgressEvent)) RunOption {
+	return func(o *runOptions) { o.progress = fn }
+}
+
+func applyOptions(opts []RunOption) runOptions {
+	var o runOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// sink folds the collector and tracer options into the single
+// collector value attached to a network, nil when neither is set.
+func (o *runOptions) sink() metrics.Collector {
+	switch {
+	case o.collector != nil && o.tracer != nil:
+		return metrics.Multi{o.collector, o.tracer}
+	case o.collector != nil:
+		return o.collector
+	case o.tracer != nil:
+		return o.tracer
+	}
+	return nil
+}

@@ -120,17 +120,11 @@ func (r Runner) run(s Scale, name string) ([]Exhibit, error) {
 	}
 }
 
-// RunAll executes every experiment and renders the full report to w.
-// The experiments run concurrently on the runner's worker pool (at most
-// Jobs simulations at once across all of them); the report is rendered
-// strictly in paper order once everything has finished, so the output is
-// byte-identical to a serial run. Like the serial runner, exhibits
-// preceding the first failure are still rendered before the error is
-// returned.
-func (r Runner) RunAll(w io.Writer) error {
-	s := r.scaled()
-	names := Names()
-
+// collect executes the named experiments concurrently on the runner's
+// worker pool (at most Jobs simulations at once across all of them) and
+// returns their exhibits grouped per name, in the given order, with a
+// parallel error slice.
+func (r Runner) collect(s Scale, names []string) ([][]Exhibit, []error) {
 	var logMu sync.Mutex
 	logf := func(format string, args ...any) {
 		if r.Log == nil {
@@ -150,7 +144,18 @@ func (r Runner) RunAll(w io.Writer) error {
 		logf("%s done in %.1fs\n", names[i], time.Since(start).Seconds())
 		return nil
 	})
+	return exhibits, errs
+}
 
+// RunAll executes every experiment and renders the full report to w.
+// The experiments run concurrently (see collect); the report is
+// rendered strictly in paper order once everything has finished, so the
+// output is byte-identical to a serial run. Like the serial runner,
+// exhibits preceding the first failure are still rendered before the
+// error is returned.
+func (r Runner) RunAll(w io.Writer) error {
+	names := Names()
+	exhibits, errs := r.collect(r.scaled(), names)
 	for i, name := range names {
 		if errs[i] != nil {
 			return fmt.Errorf("experiments: %s: %w", name, errs[i])
@@ -160,4 +165,21 @@ func (r Runner) RunAll(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// RunJSON executes the named experiments (every experiment when names
+// is empty) and writes one machine-readable report to w. Unlike
+// RunAll, nothing is written on error: a JSON consumer either gets a
+// well-formed report or none.
+func (r Runner) RunJSON(w io.Writer, names []string) error {
+	if len(names) == 0 {
+		names = Names()
+	}
+	exhibits, errs := r.collect(r.scaled(), names)
+	for i, name := range names {
+		if errs[i] != nil {
+			return fmt.Errorf("experiments: %s: %w", name, errs[i])
+		}
+	}
+	return WriteJSON(w, names, exhibits)
 }

@@ -61,30 +61,33 @@ func Quick() Scale {
 	return Scale{Warmup: 400, Measure: 400, Drain: 6000, StallLimit: 5000, Coarse: true, Small: true}
 }
 
-// Series is one curve of a figure.
+// Series is one curve of a figure. The JSON tags are part of the
+// versioned report schema (obs.SchemaVersion) emitted by WriteJSON.
 type Series struct {
 	// Name labels the curve (routing algorithm, buffer depth, ...).
-	Name string
+	Name string `json:"name"`
 	// X and Y are the data points.
-	X, Y []float64
+	X []float64 `json:"x"`
+	Y []float64 `json:"y"`
 	// Saturated marks points where the network could not sustain the
 	// offered load; their latency values are drain-censored.
-	Saturated []bool
+	Saturated []bool `json:"saturated,omitempty"`
 }
 
 // Figure is a reproduced plot: a set of series over a shared x-axis
 // meaning.
 type Figure struct {
 	// ID is the paper exhibit ("Figure 8(a)").
-	ID string
+	ID string `json:"id"`
 	// Title describes the experiment.
-	Title string
+	Title string `json:"title"`
 	// XLabel and YLabel name the axes.
-	XLabel, YLabel string
+	XLabel string `json:"x_label"`
+	YLabel string `json:"y_label"`
 	// Series holds the curves.
-	Series []Series
+	Series []Series `json:"series"`
 	// Notes records deviations and observations for EXPERIMENTS.md.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // Render writes the figure as an aligned text table: the union of x
@@ -137,14 +140,14 @@ func (f *Figure) Render(w io.Writer) {
 // Table is a reproduced table exhibit.
 type Table struct {
 	// ID is the paper exhibit ("Table 1").
-	ID string
+	ID string `json:"id"`
 	// Title describes the contents.
-	Title string
+	Title string `json:"title"`
 	// Header and Rows hold the cells.
-	Header []string
-	Rows   [][]string
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 	// Notes records deviations and observations.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // Render writes the table with aligned columns.

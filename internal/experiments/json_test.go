@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"dragonfly/internal/obs"
+)
+
+func TestWriteJSONEnvelope(t *testing.T) {
+	fig := &Figure{ID: "Figure 9", Title: "t", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "MIN", X: []float64{0.1}, Y: []float64{12}}}}
+	tab := &Table{ID: "Table 1", Title: "t", Header: []string{"a"}, Rows: [][]string{{"1"}}}
+
+	var buf strings.Builder
+	err := WriteJSON(&buf, []string{"fig9", "table1"}, [][]Exhibit{{fig}, {tab}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rep struct {
+		SchemaVersion int    `json:"schema_version"`
+		Kind          string `json:"kind"`
+		Exhibits      []struct {
+			Experiment string          `json:"experiment"`
+			Type       string          `json:"type"`
+			Figure     json.RawMessage `json:"figure"`
+			Table      json.RawMessage `json:"table"`
+		} `json:"exhibits"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != obs.SchemaVersion || rep.Kind != "experiments" {
+		t.Errorf("envelope = version %d kind %q, want %d %q",
+			rep.SchemaVersion, rep.Kind, obs.SchemaVersion, "experiments")
+	}
+	if len(rep.Exhibits) != 2 {
+		t.Fatalf("%d exhibits, want 2", len(rep.Exhibits))
+	}
+	if e := rep.Exhibits[0]; e.Experiment != "fig9" || e.Type != "figure" || e.Figure == nil || e.Table != nil {
+		t.Errorf("first exhibit = %+v, want a fig9 figure without table payload", e)
+	}
+	if e := rep.Exhibits[1]; e.Experiment != "table1" || e.Type != "table" || e.Table == nil || e.Figure != nil {
+		t.Errorf("second exhibit = %+v, want a table1 table without figure payload", e)
+	}
+}
+
+func TestWriteJSONRejectsUnknownExhibit(t *testing.T) {
+	var buf strings.Builder
+	err := WriteJSON(&buf, []string{"x"}, [][]Exhibit{{stubExhibit{}}})
+	if err == nil {
+		t.Fatal("unknown exhibit type marshalled without error")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("partial output written before the error: %q", buf.String())
+	}
+}
+
+type stubExhibit struct{}
+
+func (stubExhibit) Render(io.Writer) {}

@@ -5,7 +5,7 @@ import (
 
 	"dragonfly/internal/core"
 	"dragonfly/internal/fault"
-	"dragonfly/internal/sim"
+	"dragonfly/internal/obs"
 	"dragonfly/internal/topology"
 )
 
@@ -102,7 +102,10 @@ type transientSeries struct {
 }
 
 // transientRun runs one algorithm straight through the timeline and
-// returns the windowed series.
+// returns the windowed series, measured by the observability layer's
+// windowed collector (the normalisation matches the old bespoke
+// windowing exactly: accepted = ejections / (terminals * window), mean
+// latency over the packets ejected in the window, 0 when none).
 func (s Scale) transientRun(alg core.Algorithm, fail, recov, end, window int64) (series transientSeries, err error) {
 	sys, err := s.evalSystem(16)
 	if err != nil {
@@ -124,27 +127,21 @@ func (s Scale) transientRun(alg core.Algorithm, fail, recov, end, window int64) 
 		return series, err
 	}
 	net.SetLoad(transientLoad)
-	terms := float64(sys.Topo.Nodes())
 
-	var ejected, latSum int64
-	net.OnEject = func(p *sim.Packet, now int64) {
-		ejected++
-		latSum += now - p.CreateTime
-	}
+	win := obs.NewWindows(obs.WindowsConfig{
+		Width:     window,
+		Terminals: sys.Topo.Nodes(),
+	})
+	net.AttachMetrics(win)
 	for cyc := int64(1); cyc <= end; cyc++ {
 		if err := net.Step(); err != nil {
 			return series, err
 		}
-		if cyc%window == 0 {
-			series.x = append(series.x, float64(cyc))
-			series.thr = append(series.thr, float64(ejected)/(terms*float64(window)))
-			if ejected > 0 {
-				series.lat = append(series.lat, float64(latSum)/float64(ejected))
-			} else {
-				series.lat = append(series.lat, 0)
-			}
-			ejected, latSum = 0, 0
-		}
+	}
+	for _, w := range win.Windows() {
+		series.x = append(series.x, float64(w.End))
+		series.thr = append(series.thr, w.Accepted)
+		series.lat = append(series.lat, w.LatencyMean)
 	}
 	series.killed = net.KilledInFlight()
 	series.rerouted = net.Rerouted()

@@ -1,0 +1,137 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dragonfly/internal/metrics"
+	"dragonfly/internal/obs"
+)
+
+// reportGolden pins the serialized report layout. A diff here is a
+// schema change: compatible additions update the golden, anything else
+// must bump obs.SchemaVersion.
+const reportGolden = `{
+  "schema_version": 1,
+  "kind": "run",
+  "topology": "dragonfly(p=2 a=4 h=2 g=9 N=72 k=7 k'=16)",
+  "algorithm": "UGAL-L",
+  "pattern": "UR",
+  "seed": 7,
+  "points": [
+    {
+      "load": 0.25,
+      "result": {
+        "offered": 0.25,
+        "accepted": 0.24,
+        "latency_mean": 12.5,
+        "latency_min": 4,
+        "latency_max": 80,
+        "latency_count": 1000,
+        "latency_p99": 64,
+        "min_latency_mean": 10,
+        "nonmin_latency_mean": 18,
+        "minimal_fraction": 0.75,
+        "saturated": false,
+        "cycles": 5400,
+        "drain_timeout": false,
+        "dropped": 2,
+        "alive_terminals": 72
+      }
+    }
+  ],
+  "windows": [
+    {
+      "start": 0,
+      "end": 100,
+      "ejected": 240,
+      "accepted": 0.033,
+      "latency_mean": 12.5,
+      "latency_p99": 60,
+      "util_local": 0.4,
+      "util_global": 0.5,
+      "vc_occ": [
+        0,
+        200,
+        40
+      ],
+      "drops": 2
+    }
+  ],
+  "trace": [
+    {
+      "packet": 42,
+      "cycle": 17,
+      "router": 3,
+      "port": 5,
+      "vc": 1,
+      "link": 29,
+      "minimal": true,
+      "phase1": true,
+      "credit_stall": 4
+    }
+  ]
+}
+`
+
+func goldenReport() *obs.Report {
+	rep := obs.NewReport("run")
+	rep.Topology = "dragonfly(p=2 a=4 h=2 g=9 N=72 k=7 k'=16)"
+	rep.Algorithm = "UGAL-L"
+	rep.Pattern = "UR"
+	rep.Seed = 7
+	rep.Points = []obs.Point{{
+		Load: 0.25,
+		Result: obs.Result{
+			Offered: 0.25, Accepted: 0.24,
+			LatencyMean: 12.5, LatencyMin: 4, LatencyMax: 80,
+			LatencyCount: 1000, LatencyP99: 64,
+			MinLatencyMean: 10, NonminLatency: 18, MinimalFraction: 0.75,
+			Cycles: 5400, Dropped: 2, AliveTerminals: 72,
+		},
+	}}
+	rep.Windows = []obs.Window{{
+		Start: 0, End: 100, Ejected: 240, Accepted: 0.033,
+		LatencyMean: 12.5, LatencyP99: 60,
+		UtilLocal: 0.4, UtilGlobal: 0.5,
+		VCOcc: []int64{0, 200, 40}, Drops: 2,
+	}}
+	rep.Trace = []metrics.Hop{{
+		Packet: 42, Cycle: 17, Router: 3, Port: 5, VC: 1, Link: 29,
+		Minimal: true, Phase1: true, CreditStall: 4,
+	}}
+	return rep
+}
+
+func TestReportGolden(t *testing.T) {
+	var buf strings.Builder
+	if err := goldenReport().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != reportGolden {
+		t.Errorf("report JSON drifted from the golden layout.\ngot:\n%s\nwant:\n%s", got, reportGolden)
+	}
+}
+
+// TestReportSchemaVersionLeads checks the version is a plain top-level
+// field a consumer can sniff before committing to the layout.
+func TestReportSchemaVersionLeads(t *testing.T) {
+	var buf strings.Builder
+	if err := goldenReport().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var envelope struct {
+		SchemaVersion int    `json:"schema_version"`
+		Kind          string `json:"kind"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.SchemaVersion != obs.SchemaVersion {
+		t.Errorf("schema_version %d, want %d", envelope.SchemaVersion, obs.SchemaVersion)
+	}
+	if envelope.Kind != "run" {
+		t.Errorf("kind %q, want %q", envelope.Kind, "run")
+	}
+}

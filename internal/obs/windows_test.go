@@ -1,0 +1,134 @@
+package obs_test
+
+import (
+	"math"
+	"testing"
+
+	"dragonfly/internal/metrics"
+	"dragonfly/internal/obs"
+)
+
+// step advances the collector one cycle: the engine fires CycleEnd once
+// per Network.Step, after the routers have emitted their events.
+func step(w *obs.Windows, cycle int64) { w.CycleEnd(cycle) }
+
+func TestWindowsCloseEveryWidth(t *testing.T) {
+	w := obs.NewWindows(obs.WindowsConfig{Width: 10, Terminals: 4})
+	for cyc := int64(1); cyc <= 25; cyc++ {
+		w.PacketEjected(metrics.Eject{Cycle: cyc, Latency: 5})
+		step(w, cyc)
+	}
+	wins := w.Windows()
+	if len(wins) != 2 {
+		t.Fatalf("25 cycles at width 10: %d windows, want 2 (partial tail open)", len(wins))
+	}
+	for i, win := range wins {
+		wantStart, wantEnd := int64(i*10), int64((i+1)*10)
+		if win.Start != wantStart || win.End != wantEnd {
+			t.Errorf("window %d covers (%d,%d], want (%d,%d]", i, win.Start, win.End, wantStart, wantEnd)
+		}
+		if win.Ejected != 10 {
+			t.Errorf("window %d ejected %d, want 10", i, win.Ejected)
+		}
+		// 10 ejections / (4 terminals * 10 cycles).
+		if math.Abs(win.Accepted-0.25) > 1e-12 {
+			t.Errorf("window %d accepted %g, want 0.25", i, win.Accepted)
+		}
+	}
+
+	w.Flush(25)
+	if got := len(w.Windows()); got != 3 {
+		t.Fatalf("after Flush: %d windows, want 3", got)
+	}
+	tail := w.Windows()[2]
+	if tail.Start != 20 || tail.End != 25 || tail.Ejected != 5 {
+		t.Errorf("flushed tail = (%d,%d] ejected %d, want (20,25] ejected 5", tail.Start, tail.End, tail.Ejected)
+	}
+	// Span-normalised: 5 ejections / (4 terminals * 5 cycles).
+	if math.Abs(tail.Accepted-0.25) > 1e-12 {
+		t.Errorf("flushed tail accepted %g, want 0.25", tail.Accepted)
+	}
+	if w.Flush(25); len(w.Windows()) != 3 {
+		t.Errorf("second Flush at the same cycle closed an empty window")
+	}
+}
+
+func TestWindowsLatencyStats(t *testing.T) {
+	w := obs.NewWindows(obs.WindowsConfig{Width: 100, Terminals: 1})
+	// 99 packets at latency 10, one at 500: p99 must pick a 10 (the
+	// smallest sample with >= 99% of samples at or below it), the mean
+	// sits just above 10.
+	for i := 0; i < 99; i++ {
+		w.PacketEjected(metrics.Eject{Latency: 10})
+	}
+	w.PacketEjected(metrics.Eject{Latency: 500})
+	step(w, 100)
+	win := w.Windows()[0]
+	wantMean := (99*10.0 + 500) / 100
+	if math.Abs(win.LatencyMean-wantMean) > 1e-9 {
+		t.Errorf("latency mean %g, want %g", win.LatencyMean, wantMean)
+	}
+	if win.LatencyP99 != 10 {
+		t.Errorf("latency p99 %g, want 10", win.LatencyP99)
+	}
+
+	// An empty window reports zeros, not NaN.
+	step(w, 200)
+	empty := w.Windows()[1]
+	if empty.LatencyMean != 0 || empty.LatencyP99 != 0 || empty.Accepted != 0 {
+		t.Errorf("empty window = %+v, want zero latency and accepted", empty)
+	}
+}
+
+func TestWindowsUtilizationSplit(t *testing.T) {
+	// Links 0,1 local; link 2 global.
+	w := obs.NewWindows(obs.WindowsConfig{
+		Width: 10, Terminals: 1,
+		LinkClasses: []bool{false, false, true},
+	})
+	for i := 0; i < 6; i++ {
+		w.ChannelFlit(0)
+	}
+	for i := 0; i < 8; i++ {
+		w.ChannelFlit(2)
+	}
+	step(w, 10)
+	win := w.Windows()[0]
+	if want := 6.0 / (2 * 10); math.Abs(win.UtilLocal-want) > 1e-12 {
+		t.Errorf("local util %g, want %g", win.UtilLocal, want)
+	}
+	if want := 8.0 / (1 * 10); math.Abs(win.UtilGlobal-want) > 1e-12 {
+		t.Errorf("global util %g, want %g", win.UtilGlobal, want)
+	}
+}
+
+func TestWindowsVCOccupancyAndFaults(t *testing.T) {
+	w := obs.NewWindows(obs.WindowsConfig{Width: 10, Terminals: 1})
+	w.VCOccupancy(0, 0, 0, 1)
+	w.VCOccupancy(0, 0, 0, 3)
+	w.VCOccupancy(0, 0, 0, 1)
+	w.Drop(0)
+	w.Kill(0)
+	w.Kill(1)
+	w.Reroute(2)
+	step(w, 10)
+	step(w, 20)
+	first, second := w.Windows()[0], w.Windows()[1]
+
+	wantOcc := []int64{0, 2, 0, 1}
+	if len(first.VCOcc) != len(wantOcc) {
+		t.Fatalf("vc occ %v, want %v", first.VCOcc, wantOcc)
+	}
+	for i, c := range wantOcc {
+		if first.VCOcc[i] != c {
+			t.Errorf("vc occ[%d] = %d, want %d", i, first.VCOcc[i], c)
+		}
+	}
+	if first.Drops != 1 || first.Kills != 2 || first.Reroutes != 1 {
+		t.Errorf("fault counters = %d/%d/%d, want 1/2/1", first.Drops, first.Kills, first.Reroutes)
+	}
+	// The accumulators reset at the window boundary.
+	if second.VCOcc != nil || second.Drops != 0 || second.Kills != 0 || second.Reroutes != 0 {
+		t.Errorf("second window inherited first window's events: %+v", second)
+	}
+}

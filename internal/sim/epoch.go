@@ -153,9 +153,15 @@ func (n *Network) applyEpoch(v *topology.Degraded) error {
 				n.killPacket(e.ref, l.dst)
 			}
 			l.dead = true
+			if n.mcLink != nil {
+				n.mcLink.LinkState(i, false, n.now)
+			}
 		case !dead && l.dead:
 			n.reviveLink(l)
 			l.dead = false
+			if n.mcLink != nil {
+				n.mcLink.LinkState(i, true, n.now)
+			}
 		}
 	}
 
@@ -196,8 +202,8 @@ func (n *Network) applyEpoch(v *topology.Degraded) error {
 	// The event reshaped the network; give the stall watchdog a fresh
 	// horizon to observe the reconfigured state.
 	n.lastMove = n.now
-	if n.mc != nil {
-		n.mc.EpochSwitch(n.now, n.epochIdx)
+	if n.mcEpoch != nil {
+		n.mcEpoch.EpochSwitch(n.now, n.epochIdx)
 	}
 	if arenaDebug {
 		if err := n.CheckFlowInvariants(); err != nil {
@@ -216,8 +222,8 @@ func (n *Network) killPacket(ref int32, router int) {
 	}
 	n.inFlight--
 	n.killedInFlight++
-	if n.mc != nil {
-		n.mc.Kill(router)
+	if n.mcFault != nil {
+		n.mcFault.Kill(router)
 	}
 	n.ar.release(ref)
 }
@@ -301,8 +307,8 @@ func (n *Network) rescueRouter(r *Router) error {
 				}
 				r.waitQ[r.pv(int(n.ar.nextPort[ref]), int(n.ar.nextVC[ref]))].push(ref)
 				n.rerouted++
-				if n.mc != nil {
-					n.mc.Reroute(r.ID)
+				if n.mcFault != nil {
+					n.mcFault.Reroute(r.ID)
 				}
 			}
 			n.rescueBuf = n.rescueBuf[:0]
@@ -322,8 +328,8 @@ func (n *Network) rescueRouter(r *Router) error {
 				}
 				r.outQ[r.pv(int(n.ar.nextPort[ref]), int(n.ar.nextVC[ref]))].push(ref)
 				n.rerouted++
-				if n.mc != nil {
-					n.mc.Reroute(r.ID)
+				if n.mcFault != nil {
+					n.mcFault.Reroute(r.ID)
 				}
 			}
 			n.rescueBuf = n.rescueBuf[:0]

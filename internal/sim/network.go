@@ -66,8 +66,16 @@ type Network struct {
 
 	// mc receives instrumentation events when a collector is attached;
 	// nil (the default) turns every emission site into one untaken
-	// branch.
-	mc metrics.Collector
+	// branch. The typed sinks below cache the collector's extension
+	// interfaces (resolved once, at AttachMetrics) so the hot loop pays
+	// a nil check per event site instead of a type assertion per event.
+	mc      metrics.Collector
+	mcFault metrics.FaultObserver
+	mcEpoch metrics.EpochObserver
+	mcCycle metrics.CycleObserver
+	mcEject metrics.EjectObserver
+	mcHop   metrics.HopObserver
+	mcLink  metrics.LinkStateObserver
 
 	// hs is the routing scratch: filled from the arena before every
 	// Decide/NextHop call, written back after. ejectView is the Packet
@@ -189,9 +197,40 @@ func (n *Network) SetLoad(load float64) { n.load = load }
 // AttachMetrics installs c as the instrumentation sink; nil detaches it
 // and restores the zero-cost path. The previous collector is returned so
 // callers can stack and restore.
+//
+// The extension interfaces (metrics.FaultObserver and friends) are
+// resolved here, once: a collector subscribes to an event family by
+// implementing its interface. If c implements
+// metrics.LinkStateObserver, every currently-dead link is reported to
+// it immediately, so collectors see standing fault plans (and the
+// in-progress epoch of a timeline) without waiting for the next
+// transition.
 func (n *Network) AttachMetrics(c metrics.Collector) (prev metrics.Collector) {
 	prev = n.mc
 	n.mc = c
+	n.mcFault, _ = c.(metrics.FaultObserver)
+	n.mcEpoch, _ = c.(metrics.EpochObserver)
+	n.mcCycle, _ = c.(metrics.CycleObserver)
+	n.mcEject, _ = c.(metrics.EjectObserver)
+	n.mcHop, _ = c.(metrics.HopObserver)
+	n.mcLink, _ = c.(metrics.LinkStateObserver)
+	if n.mcHop != nil {
+		// Fresh tracer: discard credit-stall cycles accrued while no
+		// tracer was listening (or destined for a previous tracer).
+		for i := range n.routers {
+			s := n.routers[i].stallCyc
+			for j := range s {
+				s[j] = 0
+			}
+		}
+	}
+	if n.mcLink != nil {
+		for i := range n.links {
+			if n.links[i].dead {
+				n.mcLink.LinkState(i, false, n.now)
+			}
+		}
+	}
 	return prev
 }
 
@@ -211,6 +250,10 @@ func (n *Network) LinkID(router, port int) int {
 	}
 	return int(l)
 }
+
+// LinkIsGlobal reports whether channel id is a global (inter-group)
+// channel. Collectors use it to split utilization by channel class.
+func (n *Network) LinkIsGlobal(link int) bool { return n.links[link].global }
 
 // InFlight returns the number of packets buffered or on channels.
 func (n *Network) InFlight() int { return n.inFlight }
@@ -298,6 +341,9 @@ func (n *Network) Step() error {
 		n.eject(r)
 		n.transfer(r)
 		n.allocate(r)
+	}
+	if n.mcCycle != nil {
+		n.mcCycle.CycleEnd(n.now)
 	}
 	return nil
 }
@@ -499,6 +545,17 @@ func (n *Network) eject(r *Router) {
 					n.ejectedWindow++
 				}
 				n.lastMove = n.now
+				if n.mcEject != nil {
+					f := n.ar.flags[ref]
+					n.mcEject.PacketEjected(metrics.Eject{
+						Cycle:    n.now,
+						Packet:   n.ar.id[ref],
+						Router:   r.ID,
+						Latency:  n.now - n.ar.create[ref],
+						Minimal:  f&pfMinimal != 0,
+						Measured: f&pfMeasured != 0,
+					})
+				}
 				if n.OnEject != nil {
 					n.ar.view(ref, &n.ejectView)
 					n.ejectView.EjectTime = n.now
@@ -595,6 +652,12 @@ func (n *Network) allocate(r *Router) {
 			}
 			q := &r.outQ[base+vc]
 			if q.len() == 0 || r.credits[base+vc] <= 0 {
+				// Credit-stall accounting, only while a hop tracer is
+				// attached: flits are waiting but the downstream buffer has
+				// no free slot.
+				if n.mcHop != nil && q.len() > 0 {
+					r.stallCyc[base+vc]++
+				}
 				continue
 			}
 			ref := q.pop()
@@ -603,6 +666,21 @@ func (n *Network) allocate(r *Router) {
 			l.flits.push(flitEntry{ref: ref, vc: uint8(vc), at: n.now + l.latency})
 			if n.mc != nil {
 				n.mc.ChannelFlit(l.id)
+			}
+			if n.mcHop != nil {
+				f := n.ar.flags[ref]
+				n.mcHop.PacketHop(metrics.Hop{
+					Packet:      n.ar.id[ref],
+					Cycle:       n.now,
+					Router:      r.ID,
+					Port:        out,
+					VC:          vc,
+					Link:        l.id,
+					Minimal:     f&pfMinimal != 0,
+					Phase1:      f&pfPhase1 != 0,
+					CreditStall: r.stallCyc[base+vc],
+				})
+				r.stallCyc[base+vc] = 0
 			}
 			rr := vc + 1
 			if rr >= r.vcs {

@@ -80,6 +80,12 @@ type Router struct {
 	// outRR[port] round-robins over the VCs of an output.
 	outRR []int32
 
+	// stallCyc[pv(port,vc)] accumulates credit-stall cycles (flits
+	// waiting, no downstream credit) on an output VC since its last
+	// departure. Maintained only while a hop tracer is attached; the
+	// count rides out on the next metrics.Hop and resets.
+	stallCyc []int64
+
 	// Credit round-trip state (Section 4.3.2): ctq holds the send
 	// timestamp of every outstanding flit per output port; td is the
 	// smoothed downstream congestion estimate t_crt - t_crt0; crossTd is
@@ -122,6 +128,7 @@ func (r *Router) init(id int, topo Topology, cfg Config) {
 	r.inOcc = make([]int32, radix*cfg.VCs)
 	r.credits = make([]int32, radix*cfg.VCs)
 	r.outRR = make([]int32, radix)
+	r.stallCyc = make([]int64, radix*cfg.VCs)
 	r.ctq = make([]creditQueue, radix)
 	r.td = make([]int64, radix)
 	r.crossTd = make([]int64, radix)

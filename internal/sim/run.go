@@ -27,10 +27,10 @@ type RunConfig struct {
 	// HistWidth is the histogram bucket width in cycles (default 2).
 	HistWidth int64
 	// Utilization, when true, attaches a metrics.ChannelUtil collector
-	// for the measurement and drain phases and reports it in
+	// for exactly the measurement phase and reports it in
 	// Result.ChannelUtil (Figure 9). Any collector already attached via
 	// Network.AttachMetrics keeps receiving events alongside it and is
-	// restored when the run ends.
+	// restored when the measurement window closes.
 	Utilization bool
 	// StallLimit aborts the run if no flit moves for this many cycles
 	// while packets are in flight — a deadlock detector. Default 10000.
@@ -107,10 +107,12 @@ type Result struct {
 	// active fault plan; Accepted is normalised by it, so a degraded
 	// network is judged on the capacity it still has.
 	AliveTerminals int
-	// ChannelUtil holds the per-channel flit counts collected over the
-	// measurement and drain phases (nil unless RunConfig.Utilization).
+	// ChannelUtil holds the per-channel flit counts collected over
+	// exactly the measurement phase (nil unless RunConfig.Utilization).
 	// Its window is set to MeasureCycles, so Utilization(link) is the
-	// fraction of the measurement window the channel was busy.
+	// fraction of the measurement window the channel was busy — of the
+	// cycles it was alive, under a fault timeline (dead cycles are
+	// excluded from the denominator via the link-state events).
 	ChannelUtil *metrics.ChannelUtil
 }
 
@@ -227,6 +229,11 @@ func Run(net *Network, rc RunConfig) (Result, error) {
 	}
 	net.measuring = false
 	net.countWindow = false
+	if rc.Utilization {
+		// The utilization window is exactly the measurement phase: detach
+		// so the drain neither counts flits nor accrues dead time.
+		net.AttachMetrics(prevCollector)
+	}
 	res.Accepted = float64(net.ejectedWindow) / (float64(net.aliveTerms) * float64(rc.MeasureCycles))
 
 	// Drain every tagged packet.
