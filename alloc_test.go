@@ -15,12 +15,12 @@ import (
 	"dragonfly/internal/obs"
 )
 
-func steadyNet(t *testing.T) interface {
+func steadyNet(t *testing.T, shards int) interface {
 	Step() error
 	InFlight() int
 } {
 	t.Helper()
-	sys, err := core.NewSystem(core.SystemConfig{P: 2, A: 4, H: 2})
+	sys, err := core.NewSystem(core.SystemConfig{P: 2, A: 4, H: 2, Shards: shards})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func steadyNet(t *testing.T) interface {
 }
 
 func TestSteadyStateZeroAlloc(t *testing.T) {
-	net := steadyNet(t)
+	net := steadyNet(t, 0)
 	var stepErr error
 	allocs := testing.AllocsPerRun(2000, func() {
 		if err := net.Step(); err != nil {
@@ -50,6 +50,29 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 	}
 	if allocs != 0 {
 		t.Errorf("steady-state Step allocated %.4f objects/cycle with collectors disabled, want 0", allocs)
+	}
+}
+
+// TestSteadyStateZeroAllocSharded extends the gate to the sharded
+// engine: per-shard arenas, mailboxes and event buffers are warmed the
+// same way, and the barrier machinery reuses its prebuilt closures and
+// WaitGroup — so a sharded Step with collectors detached must stay
+// allocation-free per cycle too. AllocsPerRun reads the global malloc
+// counter, so an allocation on any shard goroutine fails the gate, not
+// just one on the caller.
+func TestSteadyStateZeroAllocSharded(t *testing.T) {
+	net := steadyNet(t, 4)
+	var stepErr error
+	allocs := testing.AllocsPerRun(2000, func() {
+		if err := net.Step(); err != nil {
+			stepErr = err
+		}
+	})
+	if stepErr != nil {
+		t.Fatal(stepErr)
+	}
+	if allocs != 0 {
+		t.Errorf("sharded steady-state Step allocated %.4f objects/cycle with collectors disabled, want 0", allocs)
 	}
 }
 

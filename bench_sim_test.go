@@ -49,6 +49,11 @@ type simBenchFile struct {
 	Note      string           `json:"note,omitempty"`
 	Scenarios []simBenchRecord `json:"scenarios"`
 	Baseline  *simBenchFile    `json:"baseline,omitempty"`
+	// ScaleDemo holds the hand-recorded paper-scale measurements (the
+	// 40K- and 256K-node runs documented in PERFORMANCE.md and
+	// EXPERIMENTS.md — too slow for the bench harness); writeSimBench
+	// carries it forward untouched, like Baseline.
+	ScaleDemo json.RawMessage `json:"scale_demo,omitempty"`
 }
 
 // simBenchRecords collects the sub-benchmark measurements of one
@@ -61,6 +66,7 @@ type simBenchScenario struct {
 	pattern    core.Pattern
 	load       float64
 	failGlobal float64
+	shards     int
 }
 
 func simBenchScenarios() []simBenchScenario {
@@ -69,6 +75,12 @@ func simBenchScenarios() []simBenchScenario {
 		{name: "sat/pristine", alg: core.AlgUGALLVCH, pattern: core.PatternWC, load: 0.5},
 		{name: "low/faulted", alg: core.AlgUGALLVCH, pattern: core.PatternUR, load: 0.1, failGlobal: 0.1},
 		{name: "sat/faulted", alg: core.AlgUGALLVCH, pattern: core.PatternWC, load: 0.5, failGlobal: 0.1},
+		// The sharded engine on the same machine: shard count pinned at 4
+		// (not NumCPU) so the records stay comparable across runners; the
+		// saturated point maximises inter-group traffic and therefore
+		// mailbox crossings.
+		{name: "low/sharded4", alg: core.AlgUGALLVCH, pattern: core.PatternUR, load: 0.1, shards: 4},
+		{name: "sat/sharded4", alg: core.AlgUGALLVCH, pattern: core.PatternWC, load: 0.5, shards: 4},
 	}
 }
 
@@ -104,6 +116,11 @@ func BenchmarkSimCycle(b *testing.B) {
 			net, err := sys.NewNetwork(sc.alg, sc.pattern)
 			if err != nil {
 				b.Fatalf("NewNetwork: %v", err)
+			}
+			if sc.shards > 0 {
+				if err := net.SetShards(sc.shards); err != nil {
+					b.Fatalf("SetShards: %v", err)
+				}
 			}
 			net.SetLoad(sc.load)
 			b.ReportAllocs()
@@ -170,6 +187,7 @@ func writeSimBench() {
 	if prev, err := os.ReadFile(path); err == nil {
 		var old simBenchFile
 		if json.Unmarshal(prev, &old) == nil {
+			out.ScaleDemo = old.ScaleDemo
 			if old.Baseline != nil {
 				out.Baseline = old.Baseline
 			} else if len(old.Scenarios) > 0 && old.Engine != out.Engine {

@@ -19,9 +19,12 @@
 // (-trace-buf bounds the ring, -trace-seed picks the sample). The
 // series and trace flags need -json and a single run, not -sweep.
 //
-// Exit codes: 0 on success, 1 on bad flags or configuration, 2 when
-// the deadlock detector stalls the run (diagnostics are printed), 3
-// when the run completes but unroutable drops dominate the delivered
+// Exit codes: 0 on success, 1 on bad flags or configuration — or when
+// the -json report cannot be encoded and written (a closed stdout pipe
+// included: SIGPIPE is ignored so the write error surfaces, with
+// diagnostics on stderr, instead of killing the process mid-stream); 2
+// when the deadlock detector stalls the run (diagnostics are printed);
+// 3 when the run completes but unroutable drops dominate the delivered
 // traffic.
 //
 // Usage:
@@ -39,10 +42,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"dragonfly/internal/core"
 	"dragonfly/internal/fault"
@@ -79,6 +84,7 @@ func main() {
 		hist    = flag.Bool("hist", false, "print the latency histogram")
 		sweep   = flag.String("sweep", "", "run a load sweep from:to:step (e.g. 0.1:0.9:0.1) instead of a single load")
 		jobs    = flag.Int("jobs", 0, "concurrent simulations for -sweep (0 = GOMAXPROCS)")
+		shards  = flag.Int("shards", 0, "engine shards per simulation, clamped to the group count; results are bit-identical for every value (0 = serial)")
 
 		jsonOut   = flag.Bool("json", false, "emit one versioned JSON report instead of text output")
 		window    = flag.Int64("window", 0, "with -json: collect a windowed time series, W cycles per window")
@@ -95,6 +101,12 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// Writes to a closed stdout pipe (head, a dying consumer) must
+	// surface as EPIPE from the JSON encoder — routed to the exit-code-1
+	// path with diagnostics — not kill the process via SIGPIPE with the
+	// report half-written and no error reported.
+	signal.Ignore(syscall.SIGPIPE)
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -147,6 +159,7 @@ func main() {
 	}
 	sys, err := core.NewSystem(core.SystemConfig{
 		P: *p, A: *a, H: *h, Groups: *groups, BufDepth: *buf, Seed: *seed,
+		Shards: *shards,
 	})
 	if err != nil {
 		fatal(err)
@@ -217,7 +230,7 @@ func main() {
 		if tr != nil {
 			rep.Trace = tr.Records()
 		}
-		if err := rep.Write(os.Stdout); err != nil {
+		if err := writeReport(rep, os.Stdout); err != nil {
 			fatal(err)
 		}
 		checkUnroutable(res.Dropped, res.Latency.Count())
@@ -361,7 +374,7 @@ func runSweep(sys *core.System, alg core.Algorithm, pat core.Pattern, spec strin
 			dropped += p.Result.Dropped
 			delivered += p.Result.Latency.Count()
 		}
-		if err := rep.Write(os.Stdout); err != nil {
+		if err := writeReport(rep, os.Stdout); err != nil {
 			fatal(err)
 		}
 		checkUnroutable(dropped, delivered)
@@ -439,6 +452,19 @@ func bar(frac float64) string {
 		out[i] = '#'
 	}
 	return string(out)
+}
+
+// writeReport emits the JSON report to w, wrapping any encode or write
+// failure with enough context to tell it apart from a configuration
+// error. The caller routes the error to the exit-code-1 path; by then
+// part of the document may already be on the stream, so the consumer
+// must treat a non-zero exit as "discard the output" — which is why the
+// diagnostics go to stderr, never into the (possibly truncated) report.
+func writeReport(rep *obs.Report, w io.Writer) error {
+	if err := rep.Write(w); err != nil {
+		return fmt.Errorf("writing JSON report: %w", err)
+	}
+	return nil
 }
 
 // fatal reports a configuration-level failure (bad flags, bad

@@ -95,6 +95,11 @@ type SystemConfig struct {
 	LocalLatency, GlobalLatency int
 	// Seed makes simulations reproducible (default 1).
 	Seed uint64
+	// Shards is the engine shard count every network of this system is
+	// partitioned into (see sim.Network.SetShards). 0 or 1 runs the
+	// serial engine; values are clamped to the group count. Results are
+	// bit-identical for every shard count; WithShards overrides per run.
+	Shards int
 	// Faults, when non-nil, is the fault plan (internal/fault.Plan) the
 	// system simulates under: routing and the simulator consume the
 	// degraded topology view instead of the pristine one. Build plans
@@ -214,6 +219,7 @@ func (s *System) SimConfig(alg Algorithm) sim.Config {
 		GlobalLatency: s.cfg.GlobalLatency,
 		DelayCredits:  alg == AlgUGALLCR,
 		Seed:          s.cfg.Seed,
+		Shards:        s.cfg.Shards,
 	}
 }
 
@@ -329,11 +335,23 @@ func (s *System) runWith(alg Algorithm, pattern Pattern, load float64, rc sim.Ru
 	if err != nil {
 		return sim.Result{}, err
 	}
-	if c := o.sink(); c != nil {
-		net.AttachMetrics(c)
+	if o.shards > 0 {
+		if err := net.SetShards(o.shards); err != nil {
+			return sim.Result{}, err
+		}
+	}
+	sink := o.sink()
+	if sink != nil {
+		net.AttachMetrics(sink)
 	}
 	rc.Load = load
-	return sim.Run(net, rc)
+	res, err := sim.Run(net, rc)
+	if err == nil && sink != nil {
+		// Close trailing partial state (obs.Windows' final short window)
+		// now that the run's cycle count is final.
+		flushSinks(sink, res.Cycles)
+	}
+	return res, err
 }
 
 // SweepPoint is one load point of a latency-load curve.

@@ -15,6 +15,7 @@ type runOptions struct {
 	collector metrics.Collector
 	tracer    *obs.Tracer
 	progress  func(ProgressEvent)
+	shards    int
 }
 
 // ProgressEvent reports one completed load point to a WithProgress
@@ -55,6 +56,15 @@ func WithProgress(fn func(ProgressEvent)) RunOption {
 	return func(o *runOptions) { o.progress = fn }
 }
 
+// WithShards partitions every network the call builds across n engine
+// shards (see sim.Network.SetShards), overriding SystemConfig.Shards
+// for this run. Results are bit-identical for every shard count; n is
+// clamped to the topology's group count. 0 (the default) keeps the
+// system configuration.
+func WithShards(n int) RunOption {
+	return func(o *runOptions) { o.shards = n }
+}
+
 func applyOptions(opts []RunOption) runOptions {
 	var o runOptions
 	for _, opt := range opts {
@@ -75,4 +85,27 @@ func (o *runOptions) sink() metrics.Collector {
 		return o.tracer
 	}
 	return nil
+}
+
+// flusher is the finish hook a collector may implement to close
+// trailing partial state when the run it observed ends — obs.Windows
+// uses it to emit the final short window. Flush must be idempotent for
+// the same cycle (runWith flushes on finish, and callers that already
+// flush by hand keep working).
+type flusher interface {
+	Flush(cycle int64)
+}
+
+// flushSinks walks a collector (recursing into metrics.Multi) and
+// flushes every element that implements the finish hook.
+func flushSinks(c metrics.Collector, cycle int64) {
+	if m, ok := c.(metrics.Multi); ok {
+		for _, e := range m {
+			flushSinks(e, cycle)
+		}
+		return
+	}
+	if f, ok := c.(flusher); ok {
+		f.Flush(cycle)
+	}
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package core_test
+
+// raceEnabled reports whether the race detector is active: the heavy
+// determinism suites trim their seed matrix under it, since -race slows
+// the simulator ~20x and one seed already proves the property.
+const raceEnabled = true

@@ -10,7 +10,7 @@
 package obs
 
 import (
-	"sort"
+	"slices"
 
 	"dragonfly/internal/metrics"
 )
@@ -64,8 +64,11 @@ type Window struct {
 // collector is active) and read the series back with Windows.
 //
 // A window closes on the CycleEnd event of its last cycle, so a run of
-// k*Width cycles yields exactly k windows; a trailing partial window
-// is discarded unless the caller closes it explicitly with Flush.
+// k*Width cycles yields exactly k full windows. A trailing partial
+// window (cycles past the last Width boundary) is closed by Flush —
+// called automatically by core.Run and friends when the run finishes,
+// or by hand — as a final short window covering (Start, End] with
+// End − Start < Width; without a Flush it is discarded.
 type Windows struct {
 	metrics.Nop
 	cfg      WindowsConfig
@@ -75,10 +78,13 @@ type Windows struct {
 
 	wins []Window
 
-	// Current-window accumulators.
-	ejected     int64
-	latSum      int64
-	lats        []int64
+	// Current-window accumulators. latScratch is the p99 sort buffer:
+	// percentiles must not reorder lats itself, which callers may be
+	// reading interleaved with window closes.
+	ejected    int64
+	latSum     int64
+	lats       []int64
+	latScratch []int64
 	localFlits  int64
 	globalFlits int64
 	vcOcc       []int64
@@ -155,9 +161,13 @@ func (w *Windows) CycleEnd(cycle int64) {
 	w.close(cycle)
 }
 
-// Flush closes the current partial window at the given cycle if any
-// event landed in it. Call it once after the run when trailing partial
-// data matters (reports); time-series exhibits usually drop it.
+// Flush closes the current partial window at the given cycle. The
+// flushed window covers (Start, End] like every other window, but its
+// span End − Start may be shorter than Width — packets ejected after
+// the last full-window boundary land here instead of vanishing. Flush
+// is idempotent for the same cycle (a no-op when no cycles elapsed
+// since the last close), so core.Run's automatic finish flush and an
+// explicit caller flush compose safely.
 func (w *Windows) Flush(cycle int64) {
 	if cycle > w.winStart {
 		w.close(cycle)
@@ -179,7 +189,10 @@ func (w *Windows) close(cycle int64) {
 	}
 	if w.ejected > 0 {
 		win.LatencyMean = float64(w.latSum) / float64(w.ejected)
-		win.LatencyP99 = p99(w.lats)
+		// p99 sorts its argument; hand it a scratch copy so the latency
+		// accumulator keeps insertion order for any interleaved reader.
+		w.latScratch = append(w.latScratch[:0], w.lats...)
+		win.LatencyP99 = p99(w.latScratch)
 	}
 	if w.locals > 0 {
 		win.UtilLocal = float64(w.localFlits) / (float64(w.locals) * span)
@@ -204,9 +217,10 @@ func (w *Windows) close(cycle int64) {
 }
 
 // p99 returns the 99th-percentile sample (the smallest value with at
-// least 99% of samples <= it). Sorts in place.
+// least 99% of samples <= it). It sorts xs in place: callers own the
+// slice and must pass a scratch copy if the original order matters.
 func p99(xs []int64) float64 {
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	slices.Sort(xs)
 	idx := (99*len(xs) + 99) / 100 // ceil(0.99 n)
 	if idx < 1 {
 		idx = 1

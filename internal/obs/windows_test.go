@@ -80,6 +80,57 @@ func TestWindowsLatencyStats(t *testing.T) {
 	}
 }
 
+// TestWindowsCloseKeepsLatencyOrder is the regression test for the
+// in-place p99 sort: closing a window must not reorder any state a
+// caller can observe, so two windows closed with reads interleaved
+// between them report exactly the same numbers as an uninterrupted
+// run, and an already-read window never changes retroactively.
+func TestWindowsCloseKeepsLatencyOrder(t *testing.T) {
+	feed := func(w *obs.Windows, interleave bool) []obs.Window {
+		// Window 1: descending latencies, so a p99 that sorts shared
+		// state in place leaves a reordered trail behind.
+		for _, lat := range []int64{500, 400, 10, 20, 30} {
+			w.PacketEjected(metrics.Eject{Latency: lat})
+		}
+		step(w, 10)
+		if interleave {
+			_ = w.Windows()[0]
+		}
+		for _, lat := range []int64{7, 900, 3} {
+			w.PacketEjected(metrics.Eject{Latency: lat})
+		}
+		if interleave {
+			_ = w.Windows()[0]
+		}
+		step(w, 20)
+		return append([]obs.Window(nil), w.Windows()...)
+	}
+
+	plain := feed(obs.NewWindows(obs.WindowsConfig{Width: 10, Terminals: 1}), false)
+	read := feed(obs.NewWindows(obs.WindowsConfig{Width: 10, Terminals: 1}), true)
+	if len(plain) != 2 || len(read) != 2 {
+		t.Fatalf("window counts: plain %d, interleaved %d, want 2", len(plain), len(read))
+	}
+	for i := range plain {
+		if plain[i].LatencyMean != read[i].LatencyMean || plain[i].LatencyP99 != read[i].LatencyP99 {
+			t.Errorf("window %d diverges under interleaved reads: mean %g vs %g, p99 %g vs %g",
+				i, plain[i].LatencyMean, read[i].LatencyMean, plain[i].LatencyP99, read[i].LatencyP99)
+		}
+	}
+	if want := (500 + 400 + 10 + 20 + 30) / 5.0; plain[0].LatencyMean != want {
+		t.Errorf("window 0 mean %g, want %g", plain[0].LatencyMean, want)
+	}
+	if plain[0].LatencyP99 != 500 {
+		t.Errorf("window 0 p99 %g, want 500", plain[0].LatencyP99)
+	}
+	if want := (7 + 900 + 3) / 3.0; plain[1].LatencyMean != want {
+		t.Errorf("window 1 mean %g, want %g (close leaked state across the reset)", plain[1].LatencyMean, want)
+	}
+	if plain[1].LatencyP99 != 900 {
+		t.Errorf("window 1 p99 %g, want 900", plain[1].LatencyP99)
+	}
+}
+
 func TestWindowsUtilizationSplit(t *testing.T) {
 	// Links 0,1 local; link 2 global.
 	w := obs.NewWindows(obs.WindowsConfig{

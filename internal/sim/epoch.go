@@ -33,7 +33,10 @@ import (
 //
 // Determinism: the swap iterates routers, ports, VCs and links in index
 // order and consults only per-network state, so a timeline run is
-// bit-identical across hosts and worker counts.
+// bit-identical across hosts and worker counts. With a sharded engine
+// the swap still runs serially, on the coordinator, at the per-cycle
+// barrier after the mailbox drain — every mailbox is provably empty, so
+// the kill/rescue passes see exactly the state the serial engine would.
 
 // Epoch is one interval of a fault timeline as the simulator consumes
 // it: View governs the network from cycle Start until the next epoch's
@@ -143,6 +146,7 @@ func (n *Network) applyEpoch(v *topology.Degraded) error {
 	// Pass 2: link transitions. Death kills the in-flight flits and
 	// freezes the link; revival retrains it and reconciles the
 	// sender's credits against the receiver's surviving occupancy.
+	// Flits riding link l live in the arena of the shard owning l.dst.
 	for i := range n.links {
 		l := &n.links[i]
 		dead := !v.Alive(l.src, l.srcPort)
@@ -150,7 +154,7 @@ func (n *Network) applyEpoch(v *topology.Degraded) error {
 		case dead && !l.dead:
 			for l.flits.len() > 0 {
 				e := l.flits.pop()
-				n.killPacket(e.ref, l.dst)
+				n.killPacket(n.shardForRouter(l.dst), e.ref, l.dst)
 			}
 			l.dead = true
 			if n.mcLink != nil {
@@ -186,7 +190,7 @@ func (n *Network) applyEpoch(v *topology.Degraded) error {
 			rt := &n.routers[n.topo.TerminalRouter(t)]
 			q := &rt.srcQ[n.topo.TerminalPort(t)]
 			for q.len() > 0 {
-				n.killPacket(q.pop(), rt.ID)
+				n.killPacket(n.shardForRouter(rt.ID), q.pop(), rt.ID)
 			}
 		}
 		n.termAlive[t] = a
@@ -201,7 +205,7 @@ func (n *Network) applyEpoch(v *topology.Degraded) error {
 
 	// The event reshaped the network; give the stall watchdog a fresh
 	// horizon to observe the reconfigured state.
-	n.lastMove = n.now
+	n.touchLastMove()
 	if n.mcEpoch != nil {
 		n.mcEpoch.EpochSwitch(n.now, n.epochIdx)
 	}
@@ -213,19 +217,20 @@ func (n *Network) applyEpoch(v *topology.Degraded) error {
 	return nil
 }
 
-// killPacket destroys an in-flight packet hit by a fault event. The
-// caller handles any input-slot accounting (purged routers zero their
-// occupancy wholesale; flits on a wire hold no slot yet).
-func (n *Network) killPacket(ref int32, router int) {
-	if n.ar.flags[ref]&pfMeasured != 0 {
-		n.outstanding--
+// killPacket destroys an in-flight packet hit by a fault event; sh is
+// the shard whose arena owns ref. The caller handles any input-slot
+// accounting (purged routers zero their occupancy wholesale; flits on a
+// wire hold no slot yet).
+func (n *Network) killPacket(sh *shard, ref int32, router int) {
+	if sh.ar.flags[ref]&pfMeasured != 0 {
+		sh.outstanding--
 	}
-	n.inFlight--
+	sh.inFlight--
 	n.killedInFlight++
 	if n.mcFault != nil {
 		n.mcFault.Kill(router)
 	}
-	n.ar.release(ref)
+	sh.ar.release(ref)
 }
 
 // purgeRouter empties a router that died: every buffered packet
@@ -233,11 +238,12 @@ func (n *Network) killPacket(ref int32, router int) {
 // the sensor state resets. Credits are left stale — every link of a
 // dead router is dead, and revival reconciles them per link.
 func (n *Network) purgeRouter(r *Router) {
+	sh := n.shardForRouter(r.ID)
 	for p := 0; p < r.radix; p++ {
 		if r.isTerm[p] {
 			q := &r.srcQ[p]
 			for q.len() > 0 {
-				n.killPacket(q.pop(), r.ID)
+				n.killPacket(sh, q.pop(), r.ID)
 			}
 		}
 		r.ctq[p].clear()
@@ -247,10 +253,10 @@ func (n *Network) purgeRouter(r *Router) {
 	}
 	for i := range r.waitQ {
 		for r.waitQ[i].len() > 0 {
-			n.killPacket(r.waitQ[i].pop(), r.ID)
+			n.killPacket(sh, r.waitQ[i].pop(), r.ID)
 		}
 		for r.outQ[i].len() > 0 {
-			n.killPacket(r.outQ[i].pop(), r.ID)
+			n.killPacket(sh, r.outQ[i].pop(), r.ID)
 		}
 		r.inOcc[i] = 0
 	}
@@ -285,6 +291,7 @@ func (n *Network) reviveLink(l *link) {
 // dropped: with full input-slot accounting from the wait queue, without
 // it from the output buffer.
 func (n *Network) rescueRouter(r *Router) error {
+	sh := n.shardForRouter(r.ID)
 	for out := 0; out < r.radix; out++ {
 		lid := r.outLink[out]
 		if lid == nilLink || !n.links[lid].dead {
@@ -297,15 +304,15 @@ func (n *Network) rescueRouter(r *Router) error {
 				n.rescueBuf = append(n.rescueBuf, w.pop())
 			}
 			for _, ref := range n.rescueBuf {
-				if err := n.nextHop(r, ref); err != nil {
+				if err := n.nextHop(sh, r, ref); err != nil {
 					if errors.Is(err, ErrUnroutable) {
-						n.drop(r, ref)
+						n.drop(sh, r, ref)
 						continue
 					}
 					n.rescueBuf = n.rescueBuf[:0]
 					return err
 				}
-				r.waitQ[r.pv(int(n.ar.nextPort[ref]), int(n.ar.nextVC[ref]))].push(ref)
+				r.waitQ[r.pv(int(sh.ar.nextPort[ref]), int(sh.ar.nextVC[ref]))].push(ref)
 				n.rerouted++
 				if n.mcFault != nil {
 					n.mcFault.Reroute(r.ID)
@@ -318,15 +325,15 @@ func (n *Network) rescueRouter(r *Router) error {
 				n.rescueBuf = append(n.rescueBuf, q.pop())
 			}
 			for _, ref := range n.rescueBuf {
-				if err := n.nextHop(r, ref); err != nil {
+				if err := n.nextHop(sh, r, ref); err != nil {
 					if errors.Is(err, ErrUnroutable) {
-						n.dropDeparted(r.ID, ref)
+						n.dropDeparted(sh, r.ID, ref)
 						continue
 					}
 					n.rescueBuf = n.rescueBuf[:0]
 					return err
 				}
-				r.outQ[r.pv(int(n.ar.nextPort[ref]), int(n.ar.nextVC[ref]))].push(ref)
+				r.outQ[r.pv(int(sh.ar.nextPort[ref]), int(sh.ar.nextVC[ref]))].push(ref)
 				n.rerouted++
 				if n.mcFault != nil {
 					n.mcFault.Reroute(r.ID)
@@ -341,27 +348,46 @@ func (n *Network) rescueRouter(r *Router) error {
 // dropDeparted abandons an unroutable packet that already crossed the
 // crossbar: its input slot was freed (and the credit returned) at
 // transfer time, so only the global accounting updates.
-func (n *Network) dropDeparted(router int, ref int32) {
-	if n.ar.flags[ref]&pfMeasured != 0 {
-		n.outstanding--
+func (n *Network) dropDeparted(sh *shard, router int, ref int32) {
+	if sh.ar.flags[ref]&pfMeasured != 0 {
+		sh.outstanding--
 	}
-	n.inFlight--
-	n.dropped++
-	n.lastMove = n.now
-	if n.mc != nil {
-		n.mc.Drop(router)
-	}
-	n.ar.release(ref)
+	sh.inFlight--
+	sh.dropped++
+	sh.lastMove = n.now
+	n.emitDrop(sh, router)
+	sh.ar.release(ref)
 }
 
 // CheckFlowInvariants verifies the per-(link, VC) credit conservation
 // law on every live link: the sender's free credits, the receiver's
 // input occupancy, the flits in flight and the credits in flight must
-// sum to the buffer depth. Epoch swaps re-establish it by
+// sum to the buffer depth. Between sharded Steps, flits and credits
+// posted to a mailbox but not yet drained are in flight too and are
+// counted from the outboxes. Epoch swaps re-establish the law by
 // construction; this check (run automatically after every swap under
 // the dflydebug build tag, and callable from tests in any build)
 // proves it.
 func (n *Network) CheckFlowInvariants() error {
+	// In-transit mailbox entries per (link, vc). Keyed link<<8|vc; VCs
+	// are far below 256.
+	var transit map[int64]int
+	if len(n.shards) > 1 {
+		transit = make(map[int64]int)
+		for s := range n.shards {
+			sh := &n.shards[s]
+			for _, out := range sh.flitOut {
+				for i := range out {
+					transit[int64(out[i].link)<<8|int64(out[i].vc)]++
+				}
+			}
+			for _, out := range sh.credOut {
+				for i := range out {
+					transit[int64(out[i].link)<<8|int64(out[i].vc)]++
+				}
+			}
+		}
+	}
 	for i := range n.links {
 		l := &n.links[i]
 		if l.dead {
@@ -373,7 +399,8 @@ func (n *Network) CheckFlowInvariants() error {
 			sum := int(src.credits[src.pv(l.srcPort, vc)]) +
 				int(dst.inOcc[dst.pv(l.dstPort, vc)]) +
 				l.flits.countVC(uint8(vc)) +
-				l.credits.countVC(uint8(vc))
+				l.credits.countVC(uint8(vc)) +
+				transit[int64(i)<<8|int64(vc)]
 			if sum != src.depth {
 				return &InvariantError{Kind: "credit conservation", Router: l.src, Port: l.srcPort, VC: vc, Cycle: n.now}
 			}

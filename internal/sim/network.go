@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"dragonfly/internal/metrics"
 	"dragonfly/internal/topology"
@@ -12,12 +13,16 @@ import (
 // Network is a running simulation instance: the routers, channels and
 // terminals of one topology, plus injection and measurement state.
 //
-// The hot state is allocation-free by construction: packets live in a
-// struct-of-arrays arena and move through the queues as int32 refs,
+// The hot state is allocation-free by construction: packets live in
+// struct-of-arrays arenas and move through the queues as int32 refs,
 // routers and links are value slices, and the per-query scratch
-// (HopState, the OnEject Packet view) is owned by the Network and
-// reused. Steady-state cycles allocate only when a queue or the arena
-// has to grow past its high-water mark.
+// (HopState, the OnEject Packet view) is owned by the engine shards and
+// reused. Steady-state cycles allocate only when a queue, an arena or a
+// mailbox has to grow past its high-water mark.
+//
+// The engine is partitioned into one or more shards (see shard.go);
+// the single-shard partition is the serial engine and runs entirely on
+// the calling goroutine. Results are bit-identical for any shard count.
 type Network struct {
 	topo    Topology
 	cfg     Config
@@ -29,21 +34,36 @@ type Network struct {
 	links   []link
 
 	termRNG []rng
-	ar      arena
-	nextID  uint64
+	// termSeq numbers each terminal's injections; packet ids are
+	// terminal<<32 | seq, so id assignment is shard-local and identical
+	// for every shard count.
+	termSeq []uint64
+
+	// Engine shards: the partition of routers/terminals/arena state
+	// (always at least one), the router→shard map, the prebuilt phase
+	// closures and their barrier. inPhase is true only while the
+	// parallel main phase runs, and gates event buffering and mailbox
+	// routing; it is written exclusively by the coordinator between
+	// barriers.
+	shards      []shard
+	routerShard []int32
+	drainFns    []func()
+	mainFns     []func()
+	wg          sync.WaitGroup
+	inPhase     bool
 
 	// Fault state, populated when the topology implements
 	// DegradedTopology: terminals attached to dead ports or dead routers
 	// neither inject nor count toward throughput normalisation, and
-	// dropped counts packets abandoned because routing found no live
-	// path (errors wrapping ErrUnroutable).
+	// dropped (per shard) counts packets abandoned because routing found
+	// no live path (errors wrapping ErrUnroutable).
 	termAlive  []bool
 	aliveTerms int
-	dropped    int64
 
 	// Timeline state (SetTimeline): the epoch schedule, the governing
 	// epoch index, per-router down flags for transition detection, the
 	// fault-kill and reroute counters, and the rescue scratch buffer.
+	// Epoch swaps always run serially on the coordinator.
 	epochs         []Epoch
 	epochIdx       int
 	routerDead     []bool
@@ -54,15 +74,10 @@ type Network struct {
 	// Injection control.
 	load float64
 
-	// Measurement state (driven by Run).
+	// Measurement state (driven by Run). Both flags are written only
+	// between Steps and read (never written) inside the phases.
 	measuring   bool
-	outstanding int // measured packets still in flight
-	inFlight    int // all packets in flight (for deadlock detection)
-	lastMove    int64
-
-	injectedWindow int64
-	ejectedWindow  int64
-	countWindow    bool
+	countWindow bool
 
 	// mc receives instrumentation events when a collector is attached;
 	// nil (the default) turns every emission site into one untaken
@@ -77,15 +92,11 @@ type Network struct {
 	mcHop   metrics.HopObserver
 	mcLink  metrics.LinkStateObserver
 
-	// hs is the routing scratch: filled from the arena before every
-	// Decide/NextHop call, written back after. ejectView is the Packet
-	// materialised for OnEject. Both are reused across calls.
-	hs        HopState
-	ejectView Packet
-
 	// OnEject, when non-nil, observes every ejected packet before its
 	// arena slot is recycled; the *Packet is a reused view and must not
-	// be retained.
+	// be retained. With more than one shard the calls are replayed on
+	// the coordinator at the end of each cycle, in ascending router
+	// order — the serial order.
 	OnEject func(p *Packet, now int64)
 }
 
@@ -154,6 +165,7 @@ func New(topo Topology, cfg Config, routing Routing, traffic Traffic) (*Network,
 	for t := range n.termRNG {
 		n.termRNG[t] = newRNG(cfg.Seed, uint64(t))
 	}
+	n.termSeq = make([]uint64, topo.Terminals())
 	n.termAlive = make([]bool, topo.Terminals())
 	for t := range n.termAlive {
 		n.termAlive[t] = true
@@ -174,6 +186,7 @@ func New(topo Topology, cfg Config, routing Routing, traffic Traffic) (*Network,
 			return nil, fmt.Errorf("sim: fault plan leaves no live terminals")
 		}
 	}
+	n.buildShards(cfg.Shards)
 	return n, nil
 }
 
@@ -255,63 +268,64 @@ func (n *Network) LinkID(router, port int) int {
 // channel. Collectors use it to split utilization by channel class.
 func (n *Network) LinkIsGlobal(link int) bool { return n.links[link].global }
 
-// InFlight returns the number of packets buffered or on channels.
-func (n *Network) InFlight() int { return n.inFlight }
+// InFlight returns the number of packets buffered or on channels
+// (shard mailboxes included).
+func (n *Network) InFlight() int { return n.totalInFlight() }
 
 // Dropped returns the number of packets abandoned because routing found
 // no live path (fault plans only; always 0 on a pristine topology).
-func (n *Network) Dropped() int64 { return n.dropped }
+func (n *Network) Dropped() int64 { return n.totalDropped() }
 
 // AliveTerminals returns the number of terminals that can inject and
 // eject under the current fault plan.
 func (n *Network) AliveTerminals() int { return n.aliveTerms }
 
-// loadHop fills the routing scratch from arena slot ref.
-func (n *Network) loadHop(ref int32) {
-	f := n.ar.flags[ref]
-	n.hs.ID = n.ar.id[ref]
-	n.hs.Seed = n.ar.seed[ref]
-	n.hs.Src = int(n.ar.src[ref])
-	n.hs.Dst = int(n.ar.dst[ref])
-	n.hs.Minimal = f&pfMinimal != 0
-	n.hs.InterGroup = int(n.ar.interGrp[ref])
-	n.hs.Phase1 = f&pfPhase1 != 0
-	n.hs.Port = int(n.ar.nextPort[ref])
-	n.hs.VC = int(n.ar.nextVC[ref])
+// loadHop fills the shard's routing scratch from arena slot ref.
+func (n *Network) loadHop(sh *shard, ref int32) {
+	f := sh.ar.flags[ref]
+	sh.hs.ID = sh.ar.id[ref]
+	sh.hs.Seed = sh.ar.seed[ref]
+	sh.hs.Src = int(sh.ar.src[ref])
+	sh.hs.Dst = int(sh.ar.dst[ref])
+	sh.hs.Minimal = f&pfMinimal != 0
+	sh.hs.InterGroup = int(sh.ar.interGrp[ref])
+	sh.hs.Phase1 = f&pfPhase1 != 0
+	sh.hs.Port = int(sh.ar.nextPort[ref])
+	sh.hs.VC = int(sh.ar.nextVC[ref])
 }
 
 // storeHop writes the scratch's writable fields back to arena slot ref.
-func (n *Network) storeHop(ref int32) {
-	f := n.ar.flags[ref] &^ (pfMinimal | pfPhase1)
-	if n.hs.Minimal {
+func (n *Network) storeHop(sh *shard, ref int32) {
+	f := sh.ar.flags[ref] &^ (pfMinimal | pfPhase1)
+	if sh.hs.Minimal {
 		f |= pfMinimal
 	}
-	if n.hs.Phase1 {
+	if sh.hs.Phase1 {
 		f |= pfPhase1
 	}
-	n.ar.flags[ref] = f
-	n.ar.interGrp[ref] = int32(n.hs.InterGroup)
-	n.ar.nextPort[ref] = int16(n.hs.Port)
-	n.ar.nextVC[ref] = int8(n.hs.VC)
+	sh.ar.flags[ref] = f
+	sh.ar.interGrp[ref] = int32(sh.hs.InterGroup)
+	sh.ar.nextPort[ref] = int16(sh.hs.Port)
+	sh.ar.nextVC[ref] = int8(sh.hs.VC)
 }
 
 // decide runs the source-router routing decision for slot ref at r.
-func (n *Network) decide(r *Router, ref int32) error {
-	n.loadHop(ref)
-	if err := n.routing.Decide(n, r, &n.hs); err != nil {
+func (n *Network) decide(sh *shard, r *Router, ref int32) error {
+	n.loadHop(sh, ref)
+	if err := n.routing.Decide(n, r, &sh.hs); err != nil {
 		return err
 	}
-	n.storeHop(ref)
+	n.storeHop(sh, ref)
 	return nil
 }
 
 // nextHop computes the switch request for slot ref buffered at r.
-func (n *Network) nextHop(r *Router, ref int32) error {
-	n.loadHop(ref)
-	if err := n.routing.NextHop(n, r, &n.hs); err != nil {
+func (n *Network) nextHop(sh *shard, r *Router, ref int32) error {
+	n.loadHop(sh, ref)
+	if err := n.routing.NextHop(n, r, &sh.hs); err != nil {
 		return err
 	}
-	n.storeHop(ref)
+	n.storeHop(sh, ref)
 	return nil
 }
 
@@ -322,25 +336,22 @@ func (n *Network) nextHop(r *Router, ref int32) error {
 // an *InvariantError or an aborting routing error — only when the
 // network state can no longer be trusted; unroutable packets are dropped
 // and counted, not errors.
+//
+// With more than one shard the cycle runs as drain → epoch swap →
+// parallel main phase → event fold (see shard.go); with one shard it
+// runs inline on the calling goroutine.
 func (n *Network) Step() error {
 	n.now++
+	if len(n.shards) > 1 {
+		return n.stepSharded()
+	}
 	if n.epochs != nil {
 		if err := n.advanceEpochs(); err != nil {
 			return err
 		}
 	}
-	if err := n.deliver(); err != nil {
+	if err := n.mainShard(&n.shards[0]); err != nil {
 		return err
-	}
-	n.inject()
-	for i := range n.routers {
-		r := &n.routers[i]
-		if err := n.admitSources(r); err != nil {
-			return err
-		}
-		n.eject(r)
-		n.transfer(r)
-		n.allocate(r)
 	}
 	if n.mcCycle != nil {
 		n.mcCycle.CycleEnd(n.now)
@@ -349,11 +360,13 @@ func (n *Network) Step() error {
 }
 
 // deliver moves flits and credits whose latency elapsed into their
-// destination routers. Delivered flits are routed immediately and placed
-// in the virtual output queue of their next hop.
-func (n *Network) deliver() error {
-	for li := range n.links {
-		l := &n.links[li]
+// destination routers, walking the shard's links in ascending id order
+// (single-shard: all links, both sides — the serial order). Delivered
+// flits are routed immediately and placed in the virtual output queue
+// of their next hop.
+func (n *Network) deliver(sh *shard) error {
+	for _, sl := range sh.linkOrder {
+		l := &n.links[sl.id]
 		if l.dead {
 			// A dead channel delivers nothing in either direction: its
 			// queues are frozen until a revival retrains them. (Static
@@ -361,60 +374,74 @@ func (n *Network) deliver() error {
 			// skip changes nothing for them.)
 			continue
 		}
-		for {
-			f := l.flits.peek()
-			if f == nil || f.at > n.now {
-				break
-			}
-			e := l.flits.pop()
-			rt := &n.routers[l.dst]
-			occ := &rt.inOcc[rt.pv(l.dstPort, int(e.vc))]
-			if *occ >= int32(rt.depth) {
-				return &InvariantError{Kind: "buffer overflow", Router: l.dst, Port: l.dstPort, VC: int(e.vc), Cycle: n.now}
-			}
-			*occ++
-			if n.mc != nil {
-				n.mc.VCOccupancy(l.dst, l.dstPort, int(e.vc), int(*occ))
-			}
-			ref := e.ref
-			n.ar.inPort[ref] = int16(l.dstPort)
-			n.ar.bufVC[ref] = int8(e.vc)
-			n.ar.hops[ref]++
-			n.ar.arrive[ref] = n.now
-			if err := n.nextHop(rt, ref); err != nil {
-				if errors.Is(err, ErrUnroutable) {
-					n.drop(rt, ref)
-					continue
+		if sl.flit {
+			for {
+				f := l.flits.peek()
+				if f == nil || f.at > n.now {
+					break
 				}
-				return err
-			}
-			rt.waitQ[rt.pv(int(n.ar.nextPort[ref]), int(n.ar.nextVC[ref]))].push(ref)
-		}
-		for {
-			c := l.credits.peek()
-			if c == nil || c.at > n.now {
-				break
-			}
-			e := l.credits.pop()
-			rt := &n.routers[l.src]
-			cr := &rt.credits[rt.pv(l.srcPort, int(e.vc))]
-			*cr++
-			if *cr > int32(rt.depth) {
-				return &InvariantError{Kind: "credit overflow", Router: l.src, Port: l.srcPort, VC: int(e.vc), Cycle: n.now}
-			}
-			// Credit round-trip measurement (Figure 17(b)): pop the send
-			// timestamp and refresh t_d for this output.
-			if ts := rt.ctq[l.srcPort].peek(); ts != nil {
-				sent := rt.ctq[l.srcPort].pop()
-				tcrt := n.now - sent.at
+				e := l.flits.pop()
+				rt := &n.routers[l.dst]
+				occ := &rt.inOcc[rt.pv(l.dstPort, int(e.vc))]
+				if *occ >= int32(rt.depth) {
+					return &InvariantError{Kind: "buffer overflow", Router: l.dst, Port: l.dstPort, VC: int(e.vc), Cycle: n.now}
+				}
+				*occ++
 				if n.mc != nil {
-					n.mc.CreditRTT(l.src, l.srcPort, tcrt)
+					if n.inPhase {
+						sh.ev = append(sh.ev, evRec{kind: evVCOcc, hop: metrics.Hop{
+							Router: l.dst, Port: l.dstPort, VC: int(e.vc), CreditStall: int64(*occ)}})
+					} else {
+						n.mc.VCOccupancy(l.dst, l.dstPort, int(e.vc), int(*occ))
+					}
 				}
-				td := tcrt - rt.tcrt0[l.srcPort]
-				if td < 0 {
-					td = 0
+				ref := e.ref
+				sh.ar.inPort[ref] = int16(l.dstPort)
+				sh.ar.bufVC[ref] = int8(e.vc)
+				sh.ar.hops[ref]++
+				sh.ar.arrive[ref] = n.now
+				if err := n.nextHop(sh, rt, ref); err != nil {
+					if errors.Is(err, ErrUnroutable) {
+						n.drop(sh, rt, ref)
+						continue
+					}
+					return err
 				}
-				rt.td[l.srcPort] = ewma(rt.td[l.srcPort], td)
+				rt.waitQ[rt.pv(int(sh.ar.nextPort[ref]), int(sh.ar.nextVC[ref]))].push(ref)
+			}
+		}
+		if sl.cred {
+			for {
+				c := l.credits.peek()
+				if c == nil || c.at > n.now {
+					break
+				}
+				e := l.credits.pop()
+				rt := &n.routers[l.src]
+				cr := &rt.credits[rt.pv(l.srcPort, int(e.vc))]
+				*cr++
+				if *cr > int32(rt.depth) {
+					return &InvariantError{Kind: "credit overflow", Router: l.src, Port: l.srcPort, VC: int(e.vc), Cycle: n.now}
+				}
+				// Credit round-trip measurement (Figure 17(b)): pop the send
+				// timestamp and refresh t_d for this output.
+				if ts := rt.ctq[l.srcPort].peek(); ts != nil {
+					sent := rt.ctq[l.srcPort].pop()
+					tcrt := n.now - sent.at
+					if n.mc != nil {
+						if n.inPhase {
+							sh.ev = append(sh.ev, evRec{kind: evRTT, hop: metrics.Hop{
+								Router: l.src, Port: l.srcPort, CreditStall: tcrt}})
+						} else {
+							n.mc.CreditRTT(l.src, l.srcPort, tcrt)
+						}
+					}
+					td := tcrt - rt.tcrt0[l.srcPort]
+					if td < 0 {
+						td = 0
+					}
+					rt.td[l.srcPort] = ewma(rt.td[l.srcPort], td)
+				}
 			}
 		}
 	}
@@ -426,32 +453,32 @@ func (n *Network) deliver() error {
 // without the congestion delay — the next port is not meaningful for an
 // unrouted packet), and the packet is counted in Dropped. Dropping is
 // forward progress: it resets the stall detector like any flit movement.
-func (n *Network) drop(r *Router, ref int32) {
-	inP := int(n.ar.inPort[ref])
-	bvc := int(n.ar.bufVC[ref])
+func (n *Network) drop(sh *shard, r *Router, ref int32) {
+	inP := int(sh.ar.inPort[ref])
+	bvc := int(sh.ar.bufVC[ref])
 	r.inOcc[r.pv(inP, bvc)]--
 	if up := r.inLink[inP]; up != nilLink {
 		ul := &n.links[up]
-		ul.credits.push(uint8(bvc), n.now+ul.latency)
+		n.pushCredit(sh, ul, uint8(bvc), n.now+ul.latency)
 	}
-	if n.ar.flags[ref]&pfMeasured != 0 {
-		n.outstanding--
+	if sh.ar.flags[ref]&pfMeasured != 0 {
+		sh.outstanding--
 	}
-	n.inFlight--
-	n.dropped++
-	n.lastMove = n.now
-	if n.mc != nil {
-		n.mc.Drop(r.ID)
-	}
-	n.ar.release(ref)
+	sh.inFlight--
+	sh.dropped++
+	sh.lastMove = n.now
+	n.emitDrop(sh, r.ID)
+	sh.ar.release(ref)
 }
 
-// inject performs the Bernoulli injection process at every terminal.
-func (n *Network) inject() {
+// inject performs the Bernoulli injection process at the shard's
+// terminals.
+func (n *Network) inject(sh *shard) {
 	if n.load <= 0 {
 		return
 	}
-	for t := 0; t < n.topo.Terminals(); t++ {
+	for _, t32 := range sh.terms {
+		t := int(t32)
 		r := &n.termRNG[t]
 		if r.Float64() >= n.load {
 			continue
@@ -459,22 +486,22 @@ func (n *Network) inject() {
 		if !n.termAlive[t] {
 			continue // dead terminal: draws consumed, nothing injected
 		}
-		ref := n.ar.alloc()
-		n.ar.id[ref] = n.nextID
-		n.nextID++
-		n.ar.seed[ref] = r.Next()
-		n.ar.src[ref] = int32(t)
-		n.ar.dst[ref] = int32(n.traffic.Dest(t, r.Next()))
-		n.ar.create[ref] = n.now
-		n.ar.interGrp[ref] = -1
-		n.ar.inPort[ref] = -1
+		ref := sh.ar.alloc()
+		sh.ar.id[ref] = uint64(t)<<32 | n.termSeq[t]
+		n.termSeq[t]++
+		sh.ar.seed[ref] = r.Next()
+		sh.ar.src[ref] = int32(t)
+		sh.ar.dst[ref] = int32(n.traffic.Dest(t, r.Next()))
+		sh.ar.create[ref] = n.now
+		sh.ar.interGrp[ref] = -1
+		sh.ar.inPort[ref] = -1
 		if n.measuring {
-			n.ar.flags[ref] |= pfMeasured
-			n.outstanding++
+			sh.ar.flags[ref] |= pfMeasured
+			sh.outstanding++
 		}
-		n.inFlight++
+		sh.inFlight++
 		if n.countWindow {
-			n.injectedWindow++
+			sh.injectedWindow++
 		}
 		rt := &n.routers[n.topo.TerminalRouter(t)]
 		rt.srcQ[n.topo.TerminalPort(t)].push(ref)
@@ -486,7 +513,7 @@ func (n *Network) inject() {
 // channel bandwidth), making the source-router routing decision at that
 // moment. Admission requires a free input slot, so source queues feel
 // the router's backpressure like any upstream channel.
-func (n *Network) admitSources(r *Router) error {
+func (n *Network) admitSources(sh *shard, r *Router) error {
 	for p := 0; p < r.radix; p++ {
 		if !r.isTerm[p] {
 			continue
@@ -497,29 +524,29 @@ func (n *Network) admitSources(r *Router) error {
 		}
 		r.srcQ[p].pop()
 		r.inOcc[r.pv(p, 0)]++
-		n.ar.inPort[head] = int16(p)
-		n.ar.bufVC[head] = 0
-		n.ar.inject[head] = n.now
-		n.ar.arrive[head] = n.now
-		n.ar.flags[head] |= pfDecided
-		if err := n.decide(r, head); err != nil {
+		sh.ar.inPort[head] = int16(p)
+		sh.ar.bufVC[head] = 0
+		sh.ar.inject[head] = n.now
+		sh.ar.arrive[head] = n.now
+		sh.ar.flags[head] |= pfDecided
+		if err := n.decide(sh, r, head); err != nil {
 			if errors.Is(err, ErrUnroutable) {
-				n.drop(r, head)
+				n.drop(sh, r, head)
 				continue
 			}
 			return err
 		}
-		if n.ar.flags[head]&pfMinimal != 0 {
-			n.ar.flags[head] |= pfPhase1
+		if sh.ar.flags[head]&pfMinimal != 0 {
+			sh.ar.flags[head] |= pfPhase1
 		}
-		if err := n.nextHop(r, head); err != nil {
+		if err := n.nextHop(sh, r, head); err != nil {
 			if errors.Is(err, ErrUnroutable) {
-				n.drop(r, head)
+				n.drop(sh, r, head)
 				continue
 			}
 			return err
 		}
-		r.waitQ[r.pv(int(n.ar.nextPort[head]), int(n.ar.nextVC[head]))].push(head)
+		r.waitQ[r.pv(int(sh.ar.nextPort[head]), int(sh.ar.nextVC[head]))].push(head)
 	}
 	return nil
 }
@@ -527,7 +554,10 @@ func (n *Network) admitSources(r *Router) error {
 // eject drains every flit queued for a terminal output. Ejection
 // bandwidth is unconstrained, modelling the paper's assumption of
 // sufficient router speedup so that ejection is never the bottleneck.
-func (n *Network) eject(r *Router) {
+// Inside the parallel phase, ejection observers (collector, OnEject)
+// are deferred: the arena ref is buffered and replayed — in serial
+// router order — at the end-of-cycle fold.
+func (n *Network) eject(sh *shard, r *Router) {
 	for p := 0; p < r.radix; p++ {
 		if !r.isTerm[p] {
 			continue
@@ -536,32 +566,36 @@ func (n *Network) eject(r *Router) {
 			q := &r.waitQ[r.pv(p, vc)]
 			for q.len() > 0 {
 				ref := q.pop()
-				n.departed(r, ref)
-				if n.ar.flags[ref]&pfMeasured != 0 {
-					n.outstanding--
+				n.departed(sh, r, ref)
+				if sh.ar.flags[ref]&pfMeasured != 0 {
+					sh.outstanding--
 				}
-				n.inFlight--
+				sh.inFlight--
 				if n.countWindow {
-					n.ejectedWindow++
+					sh.ejectedWindow++
 				}
-				n.lastMove = n.now
+				sh.lastMove = n.now
+				if n.inPhase && (n.mcEject != nil || n.OnEject != nil) {
+					sh.ev = append(sh.ev, evRec{kind: evEject, ref: ref, hop: metrics.Hop{Router: r.ID}})
+					continue // slot released after replay
+				}
 				if n.mcEject != nil {
-					f := n.ar.flags[ref]
+					f := sh.ar.flags[ref]
 					n.mcEject.PacketEjected(metrics.Eject{
 						Cycle:    n.now,
-						Packet:   n.ar.id[ref],
+						Packet:   sh.ar.id[ref],
 						Router:   r.ID,
-						Latency:  n.now - n.ar.create[ref],
+						Latency:  n.now - sh.ar.create[ref],
 						Minimal:  f&pfMinimal != 0,
 						Measured: f&pfMeasured != 0,
 					})
 				}
 				if n.OnEject != nil {
-					n.ar.view(ref, &n.ejectView)
-					n.ejectView.EjectTime = n.now
-					n.OnEject(&n.ejectView, n.now)
+					sh.ar.view(ref, &sh.ejectView)
+					sh.ejectView.EjectTime = n.now
+					n.OnEject(&sh.ejectView, n.now)
 				}
-				n.ar.release(ref)
+				sh.ar.release(ref)
 			}
 		}
 	}
@@ -569,9 +603,9 @@ func (n *Network) eject(r *Router) {
 
 // departed frees arena slot ref's input-buffer slot and returns the
 // credit upstream when it crosses the crossbar (or ejects) at router r.
-func (n *Network) departed(r *Router, ref int32) {
-	inP := int(n.ar.inPort[ref])
-	bvc := int(n.ar.bufVC[ref])
+func (n *Network) departed(sh *shard, r *Router, ref int32) {
+	inP := int(sh.ar.inPort[ref])
+	bvc := int(sh.ar.bufVC[ref])
 	r.inOcc[r.pv(inP, bvc)]--
 	upID := r.inLink[inP]
 	if upID == nilLink {
@@ -584,7 +618,7 @@ func (n *Network) departed(r *Router, ref int32) {
 	// the router's least-congested output. Credits crossing global
 	// channels are never delayed (Section 4.3.2), which both bounds the
 	// mechanism and keeps the expensive channels fully utilisable.
-	nextPort := int(n.ar.nextPort[ref])
+	nextPort := int(sh.ar.nextPort[ref])
 	if n.cfg.DelayCredits && !up.global && !r.isTerm[nextPort] {
 		// The delay uses only the locally measured crossing wait; folding
 		// the downstream round-trip excess back in would compound the
@@ -604,13 +638,13 @@ func (n *Network) departed(r *Router, ref int32) {
 			}
 		}
 	}
-	up.credits.push(uint8(bvc), n.now+up.latency+delay)
+	n.pushCredit(sh, up, uint8(bvc), n.now+up.latency+delay)
 }
 
 // transfer crosses the crossbar: flits move from waitQ into the bounded
 // output buffers at unlimited rate (the "sufficient speedup" of Section
 // 4.2), freeing their input slots and returning credits upstream.
-func (n *Network) transfer(r *Router) {
+func (n *Network) transfer(sh *shard, r *Router) {
 	for out := 0; out < r.radix; out++ {
 		if r.outLink[out] == nilLink {
 			continue // terminal outputs eject straight from waitQ
@@ -622,9 +656,9 @@ func (n *Network) transfer(r *Router) {
 			for w.len() > 0 && q.len() < r.outDepth {
 				ref := w.pop()
 				if n.cfg.DelayCredits {
-					r.crossTd[out] = asymEwma(r.crossTd[out], n.now-n.ar.arrive[ref])
+					r.crossTd[out] = asymEwma(r.crossTd[out], n.now-sh.ar.arrive[ref])
 				}
-				n.departed(r, ref)
+				n.departed(sh, r, ref)
 				q.push(ref)
 			}
 		}
@@ -632,8 +666,12 @@ func (n *Network) transfer(r *Router) {
 }
 
 // allocate forwards at most one flit per output channel per cycle from
-// the output buffer, round-robin over the output's VCs.
-func (n *Network) allocate(r *Router) {
+// the output buffer, round-robin over the output's VCs. A flit leaving
+// for a router owned by another shard is posted into that shard's
+// mailbox (with its full arena payload) instead of onto the link; the
+// receiver re-homes it at the start of the next cycle, before any
+// delivery can be due.
+func (n *Network) allocate(sh *shard, r *Router) {
 	for out := 0; out < r.radix; out++ {
 		lid := r.outLink[out]
 		if lid == nilLink {
@@ -663,14 +701,17 @@ func (n *Network) allocate(r *Router) {
 			ref := q.pop()
 			r.credits[base+vc]--
 			r.ctq[out].push(0, n.now)
-			l.flits.push(flitEntry{ref: ref, vc: uint8(vc), at: n.now + l.latency})
 			if n.mc != nil {
-				n.mc.ChannelFlit(l.id)
+				if n.inPhase {
+					sh.ev = append(sh.ev, evRec{kind: evFlit, hop: metrics.Hop{Link: l.id}})
+				} else {
+					n.mc.ChannelFlit(l.id)
+				}
 			}
 			if n.mcHop != nil {
-				f := n.ar.flags[ref]
-				n.mcHop.PacketHop(metrics.Hop{
-					Packet:      n.ar.id[ref],
+				f := sh.ar.flags[ref]
+				h := metrics.Hop{
+					Packet:      sh.ar.id[ref],
 					Cycle:       n.now,
 					Router:      r.ID,
 					Port:        out,
@@ -679,15 +720,46 @@ func (n *Network) allocate(r *Router) {
 					Minimal:     f&pfMinimal != 0,
 					Phase1:      f&pfPhase1 != 0,
 					CreditStall: r.stallCyc[base+vc],
-				})
+				}
+				if n.inPhase {
+					sh.ev = append(sh.ev, evRec{kind: evHop, hop: h})
+				} else {
+					n.mcHop.PacketHop(h)
+				}
 				r.stallCyc[base+vc] = 0
+			}
+			if ds := n.routerShard[l.dst]; int(ds) != sh.idx {
+				fl := sh.ar.flags[ref]
+				sh.flitOut[ds] = append(sh.flitOut[ds], flitXfer{
+					at:       n.now + l.latency,
+					create:   sh.ar.create[ref],
+					inject:   sh.ar.inject[ref],
+					id:       sh.ar.id[ref],
+					seed:     sh.ar.seed[ref],
+					link:     int32(l.id),
+					dst:      sh.ar.dst[ref],
+					src:      sh.ar.src[ref],
+					interGrp: sh.ar.interGrp[ref],
+					nextPort: sh.ar.nextPort[ref],
+					hops:     sh.ar.hops[ref],
+					nextVC:   sh.ar.nextVC[ref],
+					vc:       uint8(vc),
+					flags:    fl,
+				})
+				if fl&pfMeasured != 0 {
+					sh.outstanding--
+				}
+				sh.inFlight--
+				sh.ar.release(ref)
+			} else {
+				l.flits.push(flitEntry{ref: ref, vc: uint8(vc), at: n.now + l.latency})
 			}
 			rr := vc + 1
 			if rr >= r.vcs {
 				rr -= r.vcs
 			}
 			r.outRR[out] = int32(rr)
-			n.lastMove = n.now
+			sh.lastMove = n.now
 			break
 		}
 	}
@@ -704,7 +776,7 @@ func (n *Network) stallError(phase Phase, limit int64) *StallError {
 		Phase:      phase,
 		Cycle:      n.now,
 		StallLimit: limit,
-		InFlight:   n.inFlight,
+		InFlight:   n.totalInFlight(),
 		Epoch:      n.epochIdx,
 	}
 	// Attach the fault context: a stall right after an epoch swap is

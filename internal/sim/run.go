@@ -181,12 +181,12 @@ func Run(net *Network, rc RunConfig) (Result, error) {
 	}()
 
 	net.SetLoad(rc.Load)
-	dropped0 := net.dropped
+	dropped0 := net.totalDropped()
 	killed0 := net.killedInFlight
 	rerouted0 := net.rerouted
 	res.AliveTerminals = net.aliveTerms
 	stalled := func() bool {
-		return net.inFlight > 0 && net.now-net.lastMove > rc.StallLimit
+		return net.totalInFlight() > 0 && net.now-net.maxLastMove() > rc.StallLimit
 	}
 	// phase runs one simulation phase for up to limit cycles, stopping
 	// early when stop says so, and converts detector trips and Step
@@ -223,7 +223,7 @@ func Run(net *Network, rc RunConfig) (Result, error) {
 	}
 	net.measuring = true
 	net.countWindow = true
-	net.injectedWindow, net.ejectedWindow = 0, 0
+	net.resetWindowCounts()
 	if err := phase(PhaseMeasure, rc.MeasureCycles, nil); err != nil {
 		return res, err
 	}
@@ -234,10 +234,10 @@ func Run(net *Network, rc RunConfig) (Result, error) {
 		// so the drain neither counts flits nor accrues dead time.
 		net.AttachMetrics(prevCollector)
 	}
-	res.Accepted = float64(net.ejectedWindow) / (float64(net.aliveTerms) * float64(rc.MeasureCycles))
+	res.Accepted = float64(net.totalEjectedWindow()) / (float64(net.aliveTerms) * float64(rc.MeasureCycles))
 
 	// Drain every tagged packet.
-	drained := func() bool { return net.outstanding <= 0 }
+	drained := func() bool { return net.totalOutstanding() <= 0 }
 	if err := phase(PhaseDrain, rc.DrainCycles, drained); err != nil {
 		return res, err
 	}
@@ -247,7 +247,7 @@ func Run(net *Network, rc RunConfig) (Result, error) {
 		res.MinimalFraction = float64(minCount) / float64(totalCount)
 	}
 	res.Cycles = net.now
-	res.Dropped = net.dropped - dropped0
+	res.Dropped = net.totalDropped() - dropped0
 	res.KilledInFlight = net.killedInFlight - killed0
 	res.Rerouted = net.rerouted - rerouted0
 	res.Saturated = res.DrainTimeout || res.Accepted < rc.Load*0.95
