@@ -1,0 +1,121 @@
+// dfly-serve runs the dragonfly simulator as a long-lived HTTP/JSON
+// service (internal/serve): clients POST run and sweep jobs, watch them
+// live over server-sent events, and fetch versioned JSON reports.
+// Identical jobs (by canonical spec hash — defaults, field order and
+// engine shard count cancel out) are answered from an LRU result cache,
+// bit-identical to a fresh computation.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit a job (202 accepted / 200 cached /
+//	                            400 invalid / 413 oversized / 429 queue full /
+//	                            503 draining)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/events live SSE feed (state, window, point events)
+//	GET    /v1/jobs/{id}/report the finished job's JSON report
+//	GET    /v1/stats            queue/cache/worker counters
+//	GET    /healthz             200 serving, 503 draining
+//
+// The queue is bounded: a full queue answers 429 with Retry-After
+// rather than buffering without limit. Each job runs under a timeout
+// (-job-timeout, shortened per job by "timeout_ms") and panic
+// isolation — a crashing job reports a structured failure and the
+// server keeps serving.
+//
+// On SIGINT/SIGTERM the server drains: new submissions get 503, jobs
+// already accepted have -drain-timeout to finish, stragglers past the
+// deadline are canceled through the engine's cycle-batch checkpoints,
+// and the process exits 0 once every accepted job reached a terminal
+// state. Exit codes: 0 clean (drained, even if stragglers had to be
+// canceled), 1 bad flags or a listener/serve failure.
+//
+// Usage:
+//
+//	dfly-serve -addr :8080
+//	dfly-serve -addr :8080 -workers 4 -queue 128 -job-timeout 5m -max-nodes 10000
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dragonfly/internal/parallel"
+	"dragonfly/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 2, "jobs executed concurrently")
+		queue      = flag.Int("queue", 64, "bounded job-queue depth (full queue answers 429)")
+		jobTimeout = flag.Duration("job-timeout", 2*time.Minute, "per-job execution cap (jobs may shorten it via timeout_ms)")
+		drain      = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs before canceling them")
+		maxBody    = flag.Int64("max-body", 1<<20, "submission body cap in bytes")
+		cacheSize  = flag.Int("cache", 256, "result-cache capacity in reports (negative disables)")
+		jobs       = flag.Int("jobs", 0, "concurrent simulations across all jobs (0 = GOMAXPROCS)")
+		maxNodes   = flag.Int("max-nodes", 0, "largest topology (in terminals) a job may request (0 = unlimited)")
+		maxPoints  = flag.Int("max-sweep-points", 0, "largest sweep load list a job may request (0 = unlimited)")
+		maxCycles  = flag.Int64("max-cycles", 0, "largest warmup+measure+drain a job may request (0 = unlimited)")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "dfly-serve: ", log.LstdFlags)
+	srv := serve.New(serve.Config{
+		QueueDepth: *queue,
+		Workers:    *workers,
+		JobTimeout: *jobTimeout,
+		MaxBody:    *maxBody,
+		CacheSize:  *cacheSize,
+		Pool:       parallel.New(*jobs),
+		Limits: serve.Limits{
+			MaxNodes:       *maxNodes,
+			MaxSweepPoints: *maxPoints,
+			MaxCycles:      *maxCycles,
+		},
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	// Serve until a signal arrives, then drain: stop accepting
+	// connections, refuse new jobs, give in-flight work the drain
+	// window, cancel stragglers, exit clean. A second signal kills the
+	// process the default way (NotifyContext restores default handling
+	// once the first signal fires its context).
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s (%d workers, queue %d, job timeout %v)", *addr, *workers, *queue, *jobTimeout)
+
+	select {
+	case err := <-errc:
+		logger.Fatalf("serve: %v", err)
+	case <-sigCtx.Done():
+	}
+	stopSignals()
+	logger.Printf("signal received: draining (deadline %v)", *drain)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("drain deadline passed: in-flight jobs were canceled (%v)", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "dfly-serve:", err)
+		os.Exit(1)
+	}
+	logger.Printf("drained; bye")
+}

@@ -25,7 +25,9 @@
 // diagnostics on stderr, instead of killing the process mid-stream); 2
 // when the deadlock detector stalls the run (diagnostics are printed);
 // 3 when the run completes but unroutable drops dominate the delivered
-// traffic.
+// traffic; 4 when SIGINT/SIGTERM interrupts the run — the engine stops
+// at the next cycle-batch checkpoint and partial diagnostics (phase,
+// cycle reached, packets in flight) go to stderr.
 //
 // Usage:
 //
@@ -37,6 +39,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -65,6 +68,7 @@ const (
 	exitBadConfig  = 1
 	exitStalled    = 2
 	exitUnroutable = 3
+	exitCanceled   = 4
 )
 
 func main() {
@@ -107,6 +111,13 @@ func main() {
 	// path with diagnostics — not kill the process via SIGPIPE with the
 	// report half-written and no error reported.
 	signal.Ignore(syscall.SIGPIPE)
+
+	// SIGINT/SIGTERM cancel the run's context instead of killing the
+	// process: the engine stops at its next cycle-batch checkpoint and
+	// the canceled-run path (exit code 4) reports how far it got. A
+	// second signal kills hard, via NotifyContext's restore-on-stop.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -181,14 +192,14 @@ func main() {
 	}
 
 	if *sweep != "" {
-		runSweep(sys, alg, pat, *sweep, *jobs, rc, *jsonOut, *seed)
+		runSweep(ctx, sys, alg, pat, *sweep, *jobs, rc, *jsonOut, *seed)
 		return
 	}
 
 	// The observability collectors attach through run options and watch
 	// the whole run, warm-up and drain included — a time series that
 	// starts at the measurement phase would hide the ramp.
-	var opts []core.RunOption
+	opts := []core.RunOption{core.WithContext(ctx)}
 	var win *obs.Windows
 	var tr *obs.Tracer
 	if *window > 0 {
@@ -347,7 +358,7 @@ func applyFaults(info io.Writer, sys *core.System, failGlobal float64, failRoute
 // runSweep runs a latency-load curve on a worker pool and prints it as
 // an aligned table (or one JSON report), stopping two points after
 // saturation like the paper's plots.
-func runSweep(sys *core.System, alg core.Algorithm, pat core.Pattern, spec string, jobs int, rc sim.RunConfig, jsonOut bool, seed uint64) {
+func runSweep(ctx context.Context, sys *core.System, alg core.Algorithm, pat core.Pattern, spec string, jobs int, rc sim.RunConfig, jsonOut bool, seed uint64) {
 	loads, err := parseSweep(spec)
 	if err != nil {
 		fatal(err)
@@ -358,7 +369,7 @@ func runSweep(sys *core.System, alg core.Algorithm, pat core.Pattern, spec strin
 		fmt.Printf("sweeping %v, %s routing, %s traffic: %d load points on %d workers\n",
 			sys.Topo, alg, pat, len(loads), pool.Jobs())
 	}
-	pts, err := sys.SweepPool(pool, alg, pat, loads, rc, 2)
+	pts, err := sys.SweepPool(pool, alg, pat, loads, rc, 2, core.WithContext(ctx))
 	if err != nil {
 		fatalRun(err)
 	}
@@ -474,11 +485,23 @@ func fatal(err error) {
 	os.Exit(exitBadConfig)
 }
 
-// fatalRun reports a failed simulation run. A deadlock-detector stall
-// gets its own exit status plus a diagnostics dump (cycle, phase,
-// active fault epoch, hottest input-buffer VCs) so a wedged run can be
-// debugged from the output alone; everything else is a plain fatal.
+// fatalRun reports a failed simulation run. A SIGINT/SIGTERM
+// cancellation gets the canceled exit status with partial diagnostics
+// (phase, cycle reached, packets abandoned in flight) on stderr; a
+// deadlock-detector stall gets its own exit status plus a diagnostics
+// dump (cycle, phase, active fault epoch, hottest input-buffer VCs) so
+// a wedged run can be debugged from the output alone; everything else
+// is a plain fatal.
 func fatalRun(err error) {
+	if errors.Is(err, sim.ErrCanceled) || errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "dfly-sim: interrupted:", err)
+		var ce *sim.CanceledError
+		if errors.As(err, &ce) {
+			fmt.Fprintf(os.Stderr, "partial run diagnostics:\n  stopped in the %s phase at cycle %d, %d packets abandoned in flight\n",
+				ce.Phase, ce.Cycle, ce.InFlight)
+		}
+		os.Exit(exitCanceled)
+	}
 	var se *sim.StallError
 	if !errors.As(err, &se) {
 		fatal(err)

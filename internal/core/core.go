@@ -345,7 +345,7 @@ func (s *System) runWith(alg Algorithm, pattern Pattern, load float64, rc sim.Ru
 		net.AttachMetrics(sink)
 	}
 	rc.Load = load
-	res, err := sim.Run(net, rc)
+	res, err := sim.RunCtx(o.context(), net, rc)
 	if err == nil && sink != nil {
 		// Close trailing partial state (obs.Windows' final short window)
 		// now that the run's cycle count is final.
@@ -395,8 +395,15 @@ func (s *System) SweepPool(pool *parallel.Pool, alg Algorithm, pattern Pattern, 
 	errs := make([]error, len(loads))
 	var out []SweepPoint
 	saturated := 0
+	ctx := o.context()
 	wave := pool.Jobs()
 	for lo := 0; lo < len(loads); lo += wave {
+		// Skip queued waves once the sweep's context is done: the wave
+		// in flight already observes ctx inside the engine, so this
+		// check only prevents dispatching fresh speculative work.
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("core: %s/%s sweep canceled before load %.3f: %w", alg, pattern, loads[lo], err)
+		}
 		hi := lo + wave
 		if hi > len(loads) {
 			hi = len(loads)

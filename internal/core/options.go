@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"dragonfly/internal/metrics"
 	"dragonfly/internal/obs"
 	"dragonfly/internal/sim"
@@ -12,10 +14,19 @@ import (
 type RunOption func(*runOptions)
 
 type runOptions struct {
+	ctx       context.Context
 	collector metrics.Collector
 	tracer    *obs.Tracer
 	progress  func(ProgressEvent)
 	shards    int
+}
+
+// context returns the option's context, Background when none was set.
+func (o *runOptions) context() context.Context {
+	if o.ctx != nil {
+		return o.ctx
+	}
+	return context.Background()
 }
 
 // ProgressEvent reports one completed load point to a WithProgress
@@ -28,6 +39,20 @@ type ProgressEvent struct {
 	// points requested; a single Run reports 0 of 1.
 	Index, Total int
 	Result       sim.Result
+}
+
+// WithContext makes the run cancelable: the engine observes ctx at
+// cycle-batch checkpoints and the call returns a typed error wrapping
+// sim.ErrCanceled (and the context cause — context.Canceled or
+// DeadlineExceeded) once ctx is done. Under Sweep/SweepPool every
+// in-flight load point observes the same context, queued waves are
+// skipped, and the points completed before the cancellation are
+// returned alongside the error — the same partial-series contract as
+// any other failing sweep. Cancellation only observes simulation state;
+// re-running the same configuration to completion is bit-identical to
+// an uninterrupted run.
+func WithContext(ctx context.Context) RunOption {
+	return func(o *runOptions) { o.ctx = ctx }
 }
 
 // WithCollector attaches c to every network the call builds, for the

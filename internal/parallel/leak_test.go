@@ -1,0 +1,144 @@
+package parallel_test
+
+// Goroutine-leak audit of the worker-pool engine: ForEach must join
+// every goroutine it spawns and Work/WorkCtx must release their slot on
+// every path — normal completion, per-job errors, and cancellation
+// while queued. Each scenario is bracketed by a before/after
+// runtime.NumGoroutine comparison with a settle loop, so a leaked
+// worker (or a leaked slot, which would deadlock the follow-up full
+// fan-out) fails the test rather than a later one.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dragonfly/internal/parallel"
+)
+
+// settleGoroutines polls until the goroutine count returns to within
+// slack of base or the deadline passes, returning the final count.
+// Finished goroutines take a beat to be reaped, so a raw immediate
+// comparison would flake.
+func settleGoroutines(base, slack int) int {
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > base+slack && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// checkNoLeaks runs scenario and verifies the goroutine count settles
+// back, then proves no worker slot leaked by saturating the pool.
+func checkNoLeaks(t *testing.T, pool *parallel.Pool, name string, scenario func()) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	scenario()
+	if got := settleGoroutines(base, 2); got > base+2 {
+		t.Errorf("%s: %d goroutines before, %d after settle (leak)", name, base, got)
+	}
+	// A leaked slot would make a full-width fan-out hang: run one with a
+	// watchdog. Jobs() concurrent Works need every slot back.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var ran atomic.Int32
+		pool.ForEach(pool.Jobs(), func(int) error {
+			pool.Work(func() { ran.Add(1) })
+			return nil
+		})
+		if int(ran.Load()) != pool.Jobs() {
+			t.Errorf("%s: post-scenario fan-out ran %d of %d jobs", name, ran.Load(), pool.Jobs())
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("%s: pool wedged after scenario: a worker slot leaked", name)
+	}
+}
+
+func TestPoolNoLeaksNormalPath(t *testing.T) {
+	pool := parallel.New(4)
+	checkNoLeaks(t, pool, "normal", func() {
+		var n atomic.Int32
+		if err := pool.ForEach(64, func(i int) error {
+			pool.Work(func() { n.Add(1) })
+			return nil
+		}); err != nil {
+			t.Errorf("ForEach: %v", err)
+		}
+		if n.Load() != 64 {
+			t.Errorf("ran %d of 64 jobs", n.Load())
+		}
+	})
+}
+
+func TestPoolNoLeaksErrorPath(t *testing.T) {
+	pool := parallel.New(3)
+	sentinel := errors.New("job failed")
+	checkNoLeaks(t, pool, "error", func() {
+		err := pool.ForEach(32, func(i int) error {
+			pool.Work(func() {})
+			if i%5 == 0 {
+				return fmt.Errorf("job %d: %w", i, sentinel)
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Errorf("ForEach error = %v, want the lowest-index job error", err)
+		}
+	})
+}
+
+func TestPoolNoLeaksCancelPath(t *testing.T) {
+	pool := parallel.New(2)
+	checkNoLeaks(t, pool, "cancel", func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		release := make(chan struct{})
+		started := make(chan struct{}, 2)
+		var wg sync.WaitGroup
+		// Fill both slots with jobs that block until released.
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				pool.Work(func() {
+					started <- struct{}{}
+					<-release
+				})
+			}()
+		}
+		<-started
+		<-started
+		// Every further WorkCtx now queues behind a full pool; cancel
+		// must fail all of them without running fn.
+		errs := make(chan error, 8)
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				errs <- pool.WorkCtx(ctx, func() {
+					t.Error("canceled WorkCtx ran its function")
+				})
+			}()
+		}
+		cancel()
+		for i := 0; i < 8; i++ {
+			if err := <-errs; !errors.Is(err, context.Canceled) {
+				t.Errorf("queued WorkCtx returned %v, want context.Canceled", err)
+			}
+		}
+		close(release)
+		wg.Wait()
+	})
+}

@@ -23,6 +23,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -91,6 +92,23 @@ func (p *Pool) Work(fn func()) {
 	p.sem <- struct{}{}
 	defer func() { <-p.sem }()
 	fn()
+}
+
+// WorkCtx is Work that gives up waiting for a slot when ctx is done,
+// returning the context's error without running fn. Once fn starts it
+// runs to completion — cancellation of already-running work is the
+// work's own business (simulation runs observe the same context inside
+// the engine via sim.RunCtx). The slot is always released; a canceled
+// WorkCtx leaks neither a slot nor a goroutine.
+func (p *Pool) WorkCtx(ctx context.Context, fn func()) error {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-p.sem }()
+	fn()
+	return nil
 }
 
 // ForEach runs fn(0), …, fn(n-1) on their own goroutines and waits for

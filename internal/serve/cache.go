@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is the LRU result cache keyed by the canonical job hash. A hit
+// returns the exact bytes of the original report — the simulator is
+// deterministic and the hash covers every result-affecting parameter,
+// so serving the stored bytes IS re-running the job, bit for bit.
+type cache struct {
+	mu   sync.Mutex
+	cap  int
+	lru  *list.List // front = most recent; values are *cacheEntry
+	byID map[string]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	hash   string
+	report []byte
+}
+
+// newCache builds a cache holding up to capacity reports; capacity <= 0
+// disables caching (every get misses, every put is dropped).
+func newCache(capacity int) *cache {
+	return &cache{cap: capacity, lru: list.New(), byID: make(map[string]*list.Element)}
+}
+
+func (c *cache) get(hash string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byID[hash]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).report, true
+}
+
+func (c *cache) put(hash string, report []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byID[hash]; ok {
+		// Deterministic engine: a duplicate put carries identical bytes.
+		// Keep the original and just refresh recency.
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byID[hash] = c.lru.PushFront(&cacheEntry{hash: hash, report: report})
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.byID, oldest.Value.(*cacheEntry).hash)
+	}
+}
+
+// counters returns (entries, hits, misses) for the stats endpoint.
+func (c *cache) counters() (int, int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len(), c.hits, c.misses
+}

@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+)
+
+// jobHashVersion is the first line fed to the digest. Bump it whenever
+// the canonical encoding below changes meaning — a version bump
+// invalidates every cached result, which is exactly right when the
+// encoding (and therefore the equality relation) moves.
+const jobHashVersion = "dfly-job/1"
+
+// Hash returns the canonical job digest: a hex SHA-256 over a
+// line-oriented rendering of every result-affecting field, in a fixed
+// order, with floats encoded by their IEEE-754 bit patterns (the cache
+// promises bit-identical results, so the key must distinguish loads
+// that differ in the last ulp).
+//
+// Two submissions hash equally iff they describe the same computation:
+// field order in the JSON body, spelled-out defaults, and the engine
+// shard count (bit-identical by contract) all cancel out. The digest is
+// stable across processes and platforms — there is no map iteration,
+// pointer value or host-order dependency in the encoding — so a cache
+// can be warmed by one server build and consulted by another.
+func (s JobSpec) Hash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n", jobHashVersion)
+	fmt.Fprintf(h, "kind=%s\n", s.Kind)
+	fmt.Fprintf(h, "p=%d\na=%d\nh=%d\ngroups=%d\nbuf=%d\n", s.P, s.A, s.H, s.Groups, s.BufDepth)
+	fmt.Fprintf(h, "seed=%d\n", s.Seed)
+	fmt.Fprintf(h, "alg=%s\npattern=%s\n", s.Algorithm, s.Pattern)
+	for _, l := range s.Loads {
+		fmt.Fprintf(h, "load=%016x\n", math.Float64bits(l))
+	}
+	fmt.Fprintf(h, "warmup=%d\nmeasure=%d\ndrain=%d\n", s.Warmup, s.Measure, s.Drain)
+	fmt.Fprintf(h, "timeline=%q\nfailseed=%d\n", s.Timeline, s.FailSeed)
+	fmt.Fprintf(h, "window=%d\n", s.Window)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"testing"
+)
+
+// baseSubmission returns a fully spelled-out valid submission the hash
+// tests mutate one field at a time.
+func baseSubmission() Submission {
+	return Submission{
+		Kind:      KindRun,
+		Topology:  TopologySpec{P: 2, A: 4, H: 2, BufDepth: 16},
+		Algorithm: "UGAL-L_VCH",
+		Pattern:   "WC",
+		Seed:      7,
+		Load:      0.25,
+		Run:       RunSpec{Warmup: 200, Measure: 200, Drain: 2000},
+	}
+}
+
+func mustHash(t *testing.T, sub Submission) string {
+	t.Helper()
+	spec, err := sub.Normalize(Limits{})
+	if err != nil {
+		t.Fatalf("Normalize(%+v): %v", sub, err)
+	}
+	return spec.Hash()
+}
+
+// TestHashDefaultsCancelOut pins the canonicalisation property: a
+// submission that spells out every default hashes identically to one
+// that omits them all, so the cache never runs the same machine twice
+// because two clients phrased it differently.
+func TestHashDefaultsCancelOut(t *testing.T) {
+	terse := Submission{Kind: KindRun, Algorithm: "MIN", Pattern: "UR", Load: 0.1}
+	spelled := Submission{
+		Kind:      KindRun,
+		Topology:  TopologySpec{P: 4, A: 8, H: 4, BufDepth: 16},
+		Algorithm: "MIN",
+		Pattern:   "UR",
+		Seed:      1,
+		Load:      0.1,
+		Run:       RunSpec{Warmup: 3000, Measure: 2000, Drain: 30000},
+		FailSeed:  1,
+	}
+	if a, b := mustHash(t, terse), mustHash(t, spelled); a != b {
+		t.Errorf("defaulted submission hashes %s, spelled-out %s: want equal", a, b)
+	}
+}
+
+// TestHashGolden pins the exact digest of a fixed submission. A change
+// here means the canonical encoding moved: every cached result in every
+// deployment is invalidated, so the change must be deliberate and come
+// with a jobHashVersion bump.
+func TestHashGolden(t *testing.T) {
+	const want = "16259e95be443664f7be17e3c2132e7250e2d7b74232ce8d6559cee27d00f1d1"
+	got := mustHash(t, Submission{Kind: KindRun, Algorithm: "MIN", Pattern: "UR", Load: 0.1})
+	if got != want {
+		t.Errorf("golden job hash moved:\n got %s\nwant %s\n(bump jobHashVersion if the encoding changed deliberately)", got, want)
+	}
+}
+
+// TestHashFieldSensitivity proves every semantic field reaches the
+// digest: mutating any one of them alone must change the hash, or the
+// cache would serve a result computed for a different machine.
+func TestHashFieldSensitivity(t *testing.T) {
+	base := mustHash(t, baseSubmission())
+	mutations := map[string]func(*Submission){
+		"kind":      func(s *Submission) { s.Kind = KindSweep; s.Load = 0; s.Loads = []float64{0.25} },
+		"p":         func(s *Submission) { s.Topology.P = 3 },
+		"a":         func(s *Submission) { s.Topology.A = 6 },
+		"h":         func(s *Submission) { s.Topology.H = 3 },
+		"groups":    func(s *Submission) { s.Topology.Groups = 5 },
+		"buf_depth": func(s *Submission) { s.Topology.BufDepth = 8 },
+		"seed":      func(s *Submission) { s.Seed = 8 },
+		"algorithm": func(s *Submission) { s.Algorithm = "MIN" },
+		"pattern":   func(s *Submission) { s.Pattern = "UR" },
+		"load":      func(s *Submission) { s.Load = 0.26 },
+		"warmup":    func(s *Submission) { s.Run.Warmup = 201 },
+		"measure":   func(s *Submission) { s.Run.Measure = 201 },
+		"drain":     func(s *Submission) { s.Run.Drain = 2001 },
+		"timeline":  func(s *Submission) { s.Timeline = "@100 fail global=0.1" },
+		"fail_seed": func(s *Submission) { s.Timeline = "@100 fail global=0.1"; s.FailSeed = 2 },
+		"window":    func(s *Submission) { s.Window = 100 },
+	}
+	for field, mutate := range mutations {
+		sub := baseSubmission()
+		mutate(&sub)
+		if got := mustHash(t, sub); got == base {
+			t.Errorf("mutating %s did not change the job hash", field)
+		}
+	}
+	// fail_seed must differ from the bare-timeline mutation too, not
+	// just from base.
+	tl := baseSubmission()
+	tl.Timeline = "@100 fail global=0.1"
+	seeded := baseSubmission()
+	seeded.Timeline = "@100 fail global=0.1"
+	seeded.FailSeed = 2
+	if mustHash(t, tl) == mustHash(t, seeded) {
+		t.Error("fail_seed does not reach the job hash")
+	}
+}
+
+// TestHashExecutionKnobsUnhashed pins the other direction: shards (the
+// engine is bit-identical for every count) and timeout_ms (an execution
+// bound) must NOT change the hash — a cached result answers them all.
+func TestHashExecutionKnobsUnhashed(t *testing.T) {
+	base := mustHash(t, baseSubmission())
+	sharded := baseSubmission()
+	sharded.Shards = 4
+	if got := mustHash(t, sharded); got != base {
+		t.Errorf("shards changed the job hash (%s vs %s): a cached result would be recomputed per shard count", got, base)
+	}
+	timed := baseSubmission()
+	timed.TimeoutMS = 5000
+	if got := mustHash(t, timed); got != base {
+		t.Errorf("timeout_ms changed the job hash (%s vs %s)", got, base)
+	}
+}
+
+// TestHashLoadBitSensitivity: loads hash by IEEE-754 bit pattern, so
+// two loads differing in the last ulp get distinct cache entries.
+func TestHashLoadBitSensitivity(t *testing.T) {
+	a := baseSubmission()
+	b := baseSubmission()
+	b.Load = a.Load + 1e-16
+	if b.Load == a.Load {
+		t.Skip("increment vanished; pick a bigger ulp")
+	}
+	if mustHash(t, a) == mustHash(t, b) {
+		t.Error("loads differing in the last ulp share a hash")
+	}
+}

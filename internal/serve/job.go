@@ -1,0 +1,304 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// State is a job's position in its lifecycle. The machine is strictly
+// forward:
+//
+//	queued ──▶ running ──▶ done
+//	   │          ├──────▶ failed   (error, panic, timeout)
+//	   └──────────┴──────▶ canceled (client DELETE, server drain)
+//
+// plus the submission-time shortcut queued-with-cached-result ──▶ done.
+// Terminal states (done, failed, canceled) are final: the job's report
+// or error never changes afterwards, its SSE subscribers are closed,
+// and the server's drain accounting (jobWG) is released exactly once.
+type State string
+
+// The job states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether s is final.
+func terminal(s State) bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Event is one server-sent event on a job's feed: a state transition
+// ("state"), a closed telemetry window ("window", run jobs with a
+// window width), or a completed sweep point ("point").
+type Event struct {
+	Type string
+	Data any
+}
+
+// Status is the JSON view of a job returned by the status endpoints
+// and carried in "state" events.
+type Status struct {
+	ID        string `json:"id"`
+	State     State  `json:"state"`
+	Hash      string `json:"hash"`
+	Kind      string `json:"kind"`
+	Algorithm string `json:"algorithm"`
+	Pattern   string `json:"pattern"`
+	// Cached marks a job answered from the result cache without
+	// simulating.
+	Cached bool `json:"cached,omitempty"`
+	// Error and ErrorKind describe a failed or canceled job:
+	// ErrorKind is one of "error", "panic", "timeout", "canceled".
+	Error     string `json:"error,omitempty"`
+	ErrorKind string `json:"error_kind,omitempty"`
+	// CycleReached and InFlightAtStop are the partial-run diagnostics
+	// of a canceled or timed-out job: how far the engine got and how
+	// many packets it abandoned.
+	CycleReached   int64 `json:"cycle_reached,omitempty"`
+	InFlightAtStop int   `json:"in_flight_at_stop,omitempty"`
+	// DroppedEvents counts SSE events dropped because a subscriber's
+	// buffer was full (slow consumer backpressure: the job never
+	// blocks on its observers).
+	DroppedEvents int64 `json:"dropped_events,omitempty"`
+	SubmittedAt   int64 `json:"submitted_unix_ms"`
+	StartedAt     int64 `json:"started_unix_ms,omitempty"`
+	FinishedAt    int64 `json:"finished_unix_ms,omitempty"`
+}
+
+// Job is one submitted simulation: its canonical spec, lifecycle
+// state, result, and SSE subscribers. All mutable state is behind mu;
+// the spec, id and hash are immutable after creation.
+type Job struct {
+	ID   string
+	Spec JobSpec
+	Hash string
+
+	mu        sync.Mutex
+	state     State
+	cached    bool
+	errMsg    string
+	errKind   string
+	cycle     int64 // partial-run diagnostics (canceled/timeout)
+	inFlight  int
+	report    []byte // the versioned JSON report of a done job
+	cancel    context.CancelFunc
+	cancelReq bool
+	subs      map[chan Event]struct{}
+	dropped   int64
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	// onTerminal is the server's drain-accounting hook, invoked exactly
+	// once, on the transition into a terminal state.
+	onTerminal func()
+}
+
+func newJob(id string, spec JobSpec, hash string, onTerminal func()) *Job {
+	return &Job{
+		ID:         id,
+		Spec:       spec,
+		Hash:       hash,
+		state:      StateQueued,
+		subs:       make(map[chan Event]struct{}),
+		submitted:  time.Now(),
+		onTerminal: onTerminal,
+	}
+}
+
+// Status snapshots the job for JSON rendering.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+func (j *Job) statusLocked() Status {
+	st := Status{
+		ID:             j.ID,
+		State:          j.state,
+		Hash:           j.Hash,
+		Kind:           j.Spec.Kind,
+		Algorithm:      j.Spec.Algorithm,
+		Pattern:        j.Spec.Pattern,
+		Cached:         j.cached,
+		Error:          j.errMsg,
+		ErrorKind:      j.errKind,
+		CycleReached:   j.cycle,
+		InFlightAtStop: j.inFlight,
+		DroppedEvents:  j.dropped,
+		SubmittedAt:    j.submitted.UnixMilli(),
+	}
+	if !j.started.IsZero() {
+		st.StartedAt = j.started.UnixMilli()
+	}
+	if !j.finished.IsZero() {
+		st.FinishedAt = j.finished.UnixMilli()
+	}
+	return st
+}
+
+// Report returns the finished job's JSON report bytes (nil until done).
+func (j *Job) Report() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report
+}
+
+// begin moves queued → running and installs the run's cancel func. It
+// returns false when the job is already terminal (canceled while
+// queued): the worker must skip it without touching drain accounting —
+// the cancellation already settled it.
+func (j *Job) begin(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.publishLocked(Event{Type: "state", Data: j.statusLocked()})
+	return true
+}
+
+// Cancel requests cancellation: a queued job goes terminal right here;
+// a running job has its context canceled and goes terminal when the
+// engine returns from its next cycle-batch checkpoint. Idempotent, and
+// a no-op on terminal jobs. Reports whether the request had any effect.
+func (j *Job) Cancel(reason string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case terminal(j.state):
+		return false
+	case j.state == StateQueued:
+		j.errKind = "canceled"
+		j.errMsg = reason
+		j.finishLocked(StateCanceled)
+		return true
+	default: // running
+		if j.cancelReq {
+			return false
+		}
+		j.cancelReq = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return true
+	}
+}
+
+// finishDone records the report and completes the job.
+func (j *Job) finishDone(report []byte, cached bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if terminal(j.state) {
+		return
+	}
+	j.report = report
+	j.cached = cached
+	j.finishLocked(StateDone)
+}
+
+// finishFailed completes the job with an error. kind is the
+// classification ("error", "panic", "timeout"); cycle/inFlight carry
+// the partial-run diagnostics where the failure has them.
+func (j *Job) finishFailed(kind, msg string, cycle int64, inFlight int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if terminal(j.state) {
+		return
+	}
+	j.errKind = kind
+	j.errMsg = msg
+	j.cycle = cycle
+	j.inFlight = inFlight
+	j.finishLocked(StateFailed)
+}
+
+// finishCanceled completes a running job whose context was canceled.
+func (j *Job) finishCanceled(msg string, cycle int64, inFlight int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if terminal(j.state) {
+		return
+	}
+	j.errKind = "canceled"
+	j.errMsg = msg
+	j.cycle = cycle
+	j.inFlight = inFlight
+	j.finishLocked(StateCanceled)
+}
+
+// finishLocked is the single terminal transition: set the state, stamp
+// the time, notify subscribers with a final "state" event, close every
+// subscription, and release the server's drain accounting. Callers
+// hold mu and have checked the state is not already terminal.
+func (j *Job) finishLocked(s State) {
+	j.state = s
+	j.finished = time.Now()
+	j.cancel = nil
+	j.publishLocked(Event{Type: "state", Data: j.statusLocked()})
+	for ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+	if j.onTerminal != nil {
+		j.onTerminal()
+	}
+}
+
+// publish fans an event out to every subscriber without ever blocking:
+// a subscriber whose buffer is full loses the event (counted in
+// DroppedEvents) rather than stalling the simulation.
+func (j *Job) publish(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.publishLocked(ev)
+}
+
+func (j *Job) publishLocked(ev Event) {
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+			j.dropped++
+		}
+	}
+}
+
+// subscribe registers an SSE consumer and returns its event channel
+// plus a status snapshot to send first. On a terminal job the channel
+// comes back already closed — the consumer sends the snapshot and is
+// done. The channel is closed by the job's terminal transition;
+// consumers must also call unsubscribe on their own exit so an aborted
+// client doesn't accumulate dead buffers.
+func (j *Job) subscribe(buf int) (chan Event, Status) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	snap := j.statusLocked()
+	ch := make(chan Event, buf)
+	if terminal(j.state) {
+		close(ch)
+		return ch, snap
+	}
+	j.subs[ch] = struct{}{}
+	return ch, snap
+}
+
+// unsubscribe removes a consumer registered by subscribe. Safe after
+// the job went terminal (the map is gone; nothing to do).
+func (j *Job) unsubscribe(ch chan Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.subs != nil {
+		delete(j.subs, ch)
+	}
+}

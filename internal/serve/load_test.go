@@ -1,0 +1,298 @@
+package serve
+
+// The load test is the tentpole's acceptance gate: hundreds of
+// concurrent submissions mixing valid jobs, invalid jobs, oversized
+// bodies, client-aborted requests and one deliberately panicking job,
+// against a small worker set and a bounded queue. Afterwards it proves
+// the hardening contract held: every accepted job reached a terminal
+// state (none lost), the panicking job failed structurally without
+// hurting its worker, rejected submissions got real 429 backpressure,
+// a cached resubmission returns byte-identical results to a fresh
+// server computing the same job, shutdown drains within its deadline,
+// and the goroutine count settles back to the baseline.
+//
+// CI runs it under -race with -short (reduced concurrency); the full
+// width runs in the regular suite.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dragonfly/internal/parallel"
+)
+
+const chaosPanicSeed = 31337
+
+// loadSubmission builds the i'th valid job of the storm. Seeds cycle
+// through a small set so the storm exercises cache hits alongside
+// misses; loads differ per seed so distinct specs stay distinct.
+func loadSubmission(i int) Submission {
+	sub := tinySubmission()
+	sub.Seed = uint64(1 + i%4)
+	sub.Load = 0.05 + 0.01*float64(i%12)
+	if i%8 == 0 {
+		sub.Kind = KindSweep
+		sub.Load = 0
+		sub.Loads = []float64{0.05, 0.1}
+	}
+	return sub
+}
+
+func TestServerLoad(t *testing.T) {
+	n := 240
+	if testing.Short() {
+		n = 60
+	}
+	settleBaseline := runtime.NumGoroutine()
+
+	pool := parallel.New(4)
+	srv := New(Config{
+		QueueDepth: 16,
+		Workers:    4,
+		Pool:       pool,
+		JobTimeout: time.Minute,
+	})
+	srv.testHook = func(j *Job) {
+		if j.Spec.Seed == chaosPanicSeed {
+			panic("injected chaos monkey")
+		}
+		// Pad each job a little so the storm outruns the workers and the
+		// bounded queue actually overflows — otherwise these tiny jobs
+		// drain as fast as they arrive and the 429 path goes untested.
+		time.Sleep(10 * time.Millisecond)
+	}
+	ts := httptest.NewServer(srv)
+	client := ts.Client()
+
+	var (
+		mu       sync.Mutex
+		accepted []string
+		panicJob string
+	)
+	var got429, got400, got413, aborted atomic.Int64
+
+	// submitUntilAccepted retries through 429 backpressure — the
+	// contract is that a full queue is a retryable condition, not an
+	// error — and records the accepted job.
+	submitUntilAccepted := func(t *testing.T, sub Submission) string {
+		body, err := json.Marshal(sub)
+		if err != nil {
+			t.Errorf("marshal: %v", err)
+			return ""
+		}
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := client.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("POST: %v", err)
+				return ""
+			}
+			switch resp.StatusCode {
+			case http.StatusAccepted, http.StatusOK:
+				var st Status
+				err := json.NewDecoder(resp.Body).Decode(&st)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("decode: %v", err)
+					return ""
+				}
+				mu.Lock()
+				accepted = append(accepted, st.ID)
+				mu.Unlock()
+				return st.ID
+			case http.StatusTooManyRequests:
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				got429.Add(1)
+				time.Sleep(10 * time.Millisecond)
+			default:
+				resp.Body.Close()
+				t.Errorf("submit: unexpected status %d", resp.StatusCode)
+				return ""
+			}
+		}
+		t.Error("submission never accepted within the retry budget")
+		return ""
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 8 {
+			case 7: // invalid: must be rejected up front, never queued
+				bad := tinySubmission()
+				bad.Algorithm = "NO-SUCH-ALG"
+				body, _ := json.Marshal(bad)
+				resp, err := client.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("invalid POST: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusBadRequest {
+					t.Errorf("invalid submission: status %d, want 400", resp.StatusCode)
+				}
+				got400.Add(1)
+			case 6: // oversized body: 413, connection survives
+				huge := fmt.Sprintf(`{"kind":"run","algorithm":"MIN","pattern":"UR","timeline":%q}`,
+					strings.Repeat("x", 2<<20))
+				resp, err := client.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(huge))
+				if err != nil {
+					// The server may slam the connection mid-upload once the
+					// limit trips; either way the body was refused.
+					aborted.Add(1)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusRequestEntityTooLarge {
+					t.Errorf("oversized submission: status %d, want 413", resp.StatusCode)
+				}
+				got413.Add(1)
+			case 5: // client abort: give up on the request almost immediately
+				ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+				body, _ := json.Marshal(loadSubmission(i))
+				req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/jobs", bytes.NewReader(body))
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err == nil {
+					// Landed before the deadline: it is a normal accepted job.
+					var st Status
+					if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+						if json.NewDecoder(resp.Body).Decode(&st) == nil {
+							mu.Lock()
+							accepted = append(accepted, st.ID)
+							mu.Unlock()
+						}
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				} else {
+					aborted.Add(1)
+				}
+				cancel()
+			default: // valid work, retried through backpressure
+				id := submitUntilAccepted(t, loadSubmission(i))
+				if id != "" && i%16 == 2 {
+					// Some clients watch the SSE feed and abandon it mid-
+					// stream: the server must shed them without leaking.
+					ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+					req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/jobs/"+id+"/events", nil)
+					if resp, err := client.Do(req); err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+					cancel()
+					aborted.Add(1)
+				}
+			}
+		}(i)
+	}
+	// One poisoned job rides along with the storm.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		bad := tinySubmission()
+		bad.Seed = chaosPanicSeed
+		if id := submitUntilAccepted(t, bad); id != "" {
+			mu.Lock()
+			panicJob = id
+			mu.Unlock()
+		}
+	}()
+	wg.Wait()
+
+	if got429.Load() == 0 {
+		t.Logf("note: queue never overflowed (no 429s exercised at n=%d)", n)
+	}
+	t.Logf("storm: %d accepted, %d backpressured, %d invalid, %d oversized, %d aborted",
+		len(accepted), got429.Load(), got400.Load(), got413.Load(), aborted.Load())
+
+	// No lost jobs: every accepted job reaches a terminal state.
+	doneStates := map[State]int{}
+	for _, id := range accepted {
+		st := waitTerminal(t, ts, id)
+		doneStates[st.State]++
+		if st.State == StateFailed && st.ErrorKind != "panic" {
+			t.Errorf("job %s failed unexpectedly: %s (%s)", id, st.Error, st.ErrorKind)
+		}
+	}
+	t.Logf("terminal states: %v", doneStates)
+
+	// The poisoned job failed structurally; its worker survived (all
+	// other jobs completed above, which needed all four workers).
+	if panicJob == "" {
+		t.Fatal("the panicking job was never accepted")
+	}
+	if st := getStatus(t, ts, panicJob); st.State != StateFailed || st.ErrorKind != "panic" {
+		t.Errorf("poisoned job = %q/%q, want failed/panic", st.State, st.ErrorKind)
+	}
+
+	// Cached vs fresh, bit for bit: resubmit one of the storm's specs
+	// (a guaranteed hit now) and compare against a pristine server with
+	// caching disabled computing the same job from scratch.
+	spec := loadSubmission(1)
+	cachedSt, code := submit(t, ts, spec)
+	if code != http.StatusOK || !cachedSt.Cached {
+		t.Fatalf("resubmission after the storm: status %d cached:%v, want a 200 cache hit", code, cachedSt.Cached)
+	}
+	cachedRep := getReport(t, ts, cachedSt.ID)
+
+	fresh := New(Config{Workers: 1, CacheSize: -1, Pool: pool})
+	fts := httptest.NewServer(fresh)
+	freshSt, code := submit(t, fts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("fresh-server submit: %d", code)
+	}
+	if st := waitTerminal(t, fts, freshSt.ID); st.State != StateDone {
+		t.Fatalf("fresh-server job finished %q", st.State)
+	}
+	freshRep := getReport(t, fts, freshSt.ID)
+	if !bytes.Equal(cachedRep, freshRep) {
+		t.Errorf("cached report is not bit-identical to a fresh computation:\ncached: %d bytes\nfresh:  %d bytes", len(cachedRep), len(freshRep))
+	}
+	fctx, fcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	if err := fresh.Shutdown(fctx); err != nil {
+		t.Errorf("fresh server Shutdown: %v", err)
+	}
+	fcancel()
+	fts.Close()
+
+	// Graceful exit: with all work already terminal, drain must be
+	// near-instant and error-free.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Errorf("Shutdown after the storm: %v", err)
+	}
+	ts.Close()
+	client.CloseIdleConnections()
+
+	// Zero goroutine leaks across the whole exercise: workers joined,
+	// SSE feeds shed, canceled waiters returned.
+	deadline := time.Now().Add(10 * time.Second)
+	goroutines := runtime.NumGoroutine()
+	for goroutines > settleBaseline+3 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		goroutines = runtime.NumGoroutine()
+	}
+	if goroutines > settleBaseline+3 {
+		buf := make([]byte, 1<<20)
+		t.Errorf("goroutine leak: %d before the storm, %d after settling\n%s",
+			settleBaseline, goroutines, buf[:runtime.Stack(buf, true)])
+	}
+}

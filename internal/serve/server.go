@@ -1,0 +1,442 @@
+// Package serve is the long-running simulation service behind
+// cmd/dfly-serve: an HTTP/JSON façade over internal/core hardened for
+// unattended operation. Jobs are validated at submission, queued onto a
+// bounded queue (full queue → 429 + Retry-After, never an unbounded
+// backlog), executed on a fixed worker set with per-job timeouts and
+// panic isolation (a crashing job fails structurally; the server keeps
+// serving), observable live over SSE, and answered from an LRU result
+// cache when an identical job (by canonical hash — see JobSpec.Hash)
+// already ran. Shutdown drains: in-flight jobs get a deadline to finish,
+// then are canceled through the same context plumbing the engine
+// observes at cycle-batch checkpoints, and the accounting guarantees no
+// accepted job is ever silently lost.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"context"
+
+	"dragonfly/internal/parallel"
+)
+
+// Config parameterises a Server. Zero values take the stated defaults.
+type Config struct {
+	// QueueDepth bounds the submission queue (default 64). A full queue
+	// rejects with 429 and a Retry-After hint — backpressure, not
+	// buffering: memory stays bounded no matter how fast clients submit.
+	QueueDepth int
+	// Workers is the number of jobs executed concurrently (default 2).
+	// Each worker's simulation work additionally respects the machine-
+	// wide Pool, so Workers bounds jobs in flight while the pool bounds
+	// simulations in flight.
+	Workers int
+	// JobTimeout caps each job's execution (default 2m; negative
+	// disables). A submission's timeout_ms may shorten it, never extend.
+	JobTimeout time.Duration
+	// MaxBody caps a submission body in bytes (default 1 MiB).
+	MaxBody int64
+	// CacheSize is the result-cache capacity in reports (default 256;
+	// negative disables caching).
+	CacheSize int
+	// Pool is the simulation worker pool (nil = parallel.Default()).
+	Pool *parallel.Pool
+	// Limits bounds what one submission may ask for. The zero value is
+	// unlimited.
+	Limits Limits
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 2 * time.Minute
+	}
+	if c.MaxBody == 0 {
+		c.MaxBody = 1 << 20
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.Pool == nil {
+		c.Pool = parallel.Default()
+	}
+	return c
+}
+
+// Server is the simulation service: an http.Handler plus the worker set
+// and queue behind it. Create with New, serve via any http.Server, stop
+// with Shutdown.
+type Server struct {
+	cfg   Config
+	pool  *parallel.Pool
+	mux   *http.ServeMux
+	cache *cache
+
+	// baseCtx parents every job context; baseCancel is the drain
+	// deadline's hammer — it cancels all running jobs at once.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	queue    chan *Job
+	quit     chan struct{} // closed to stop idle workers
+	workerWG sync.WaitGroup
+	jobWG    sync.WaitGroup // one count per accepted, non-terminal job
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*Job
+	order    []string // submission order, for GET /v1/jobs
+	nextID   uint64
+
+	submitted int64
+	rejected  int64 // 429s (backpressure), not validation failures
+
+	// testHook, when set, runs inside each job's panic-isolation scope
+	// just before execution — the load test injects a panicking job
+	// through it.
+	testHook func(*Job)
+}
+
+// New builds a Server and starts its workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		pool:  cfg.Pool,
+		cache: newCache(cfg.CacheSize),
+		queue: make(chan *Job, cfg.QueueDepth),
+		quit:  make(chan struct{}),
+		jobs:  make(map[string]*Job),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+
+	s.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the server: new submissions are refused with 503,
+// jobs already accepted get until ctx's deadline to finish, and past
+// the deadline everything still alive is canceled — queued jobs
+// directly, running jobs through their contexts, which the engine
+// observes within one cycle batch. Shutdown returns once every
+// accepted job has reached a terminal state and every worker has
+// exited; no accepted job is ever lost. It is not safe to call
+// Shutdown concurrently with itself.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(drained)
+	}()
+
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		// Deadline passed: settle queued jobs in place and cancel
+		// running ones. Workers draining the queue will see the
+		// already-terminal jobs and skip them.
+		s.mu.Lock()
+		for _, job := range s.jobs {
+			job.Cancel("server shutting down")
+		}
+		s.mu.Unlock()
+		s.baseCancel()
+		<-drained
+	}
+
+	close(s.quit)
+	s.workerWG.Wait()
+	s.baseCancel()
+	return err
+}
+
+// --- submission -----------------------------------------------------
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var sub Submission
+	if err := dec.Decode(&sub); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body over the %d-byte limit", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	spec, err := sub.Normalize(s.cfg.Limits)
+	if err != nil {
+		var re *RequestError
+		if errors.As(err, &re) {
+			writeError(w, re.Status, re.Msg)
+		} else {
+			writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	hash := spec.Hash()
+
+	// Cache hit: the job is born terminal — no queue slot, no worker.
+	if report, ok := s.cache.get(hash); ok {
+		job, ok := s.accept(spec, hash)
+		if !ok {
+			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+			return
+		}
+		s.index(job)
+		job.finishDone(report, true)
+		writeJSON(w, http.StatusOK, job.Status())
+		return
+	}
+
+	job, ok := s.accept(spec, hash)
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	select {
+	case s.queue <- job:
+		s.index(job)
+		writeJSON(w, http.StatusAccepted, job.Status())
+	default:
+		// Refused: the job was never indexed, so nothing else holds a
+		// reference — releasing its drain count here is the only Done it
+		// will ever get.
+		s.jobWG.Done()
+		s.mu.Lock()
+		s.rejected++
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("job queue full (%d pending): retry later", s.cfg.QueueDepth))
+	}
+}
+
+// accept creates a job and takes its drain count under the submission
+// lock. The draining check and the jobWG increment happen atomically,
+// so Shutdown can never begin waiting between a job's acceptance and
+// its accounting: once draining is set, no new count appears. The job
+// is not yet visible to clients or to Shutdown's cancel loop — index
+// publishes it once its fate (queued, or born-cached done) is settled;
+// a job refused by a full queue is never published at all.
+func (s *Server) accept(spec JobSpec, hash string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false
+	}
+	s.nextID++
+	id := fmt.Sprintf("j%06d", s.nextID)
+	s.jobWG.Add(1)
+	return newJob(id, spec, hash, s.jobWG.Done), true
+}
+
+// index publishes an accepted job to the lookup and listing tables.
+func (s *Server) index(job *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.submitted++
+}
+
+// --- queries --------------------------------------------------------
+
+func (s *Server) lookup(r *http.Request) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[r.PathValue("id")]
+	return job, ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].Status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	job.Cancel("canceled by client")
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	st := job.Status()
+	if st.State != StateDone {
+		writeError(w, http.StatusConflict,
+			fmt.Sprintf("job is %s: the report exists only for state %q", st.State, StateDone))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(job.Report())
+}
+
+// handleEvents streams the job's lifecycle as server-sent events: an
+// immediate "state" snapshot, then live "state"/"window"/"point" events
+// until the job goes terminal or the client disconnects. A slow client
+// never stalls the simulation — events overflowing the subscriber
+// buffer are dropped and counted.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	ch, snap := job.subscribe(64)
+	defer job.unsubscribe(ch)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	writeSSE(w, Event{Type: "state", Data: snap})
+	fl.Flush()
+
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return // terminal transition closed the feed
+			}
+			writeSSE(w, ev)
+			fl.Flush()
+		case <-r.Context().Done():
+			return // client went away; unsubscribe drops the buffer
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, ev Event) {
+	data, err := json.Marshal(ev.Data)
+	if err != nil {
+		data = []byte(`{"error":"unencodable event"}`)
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+}
+
+// --- introspection --------------------------------------------------
+
+// Stats is the GET /v1/stats payload.
+type Stats struct {
+	Submitted   int64         `json:"submitted"`
+	Rejected    int64         `json:"rejected_429"`
+	ByState     map[State]int `json:"by_state"`
+	QueueLen    int           `json:"queue_len"`
+	QueueDepth  int           `json:"queue_depth"`
+	Workers     int           `json:"workers"`
+	Draining    bool          `json:"draining"`
+	CacheSize   int           `json:"cache_entries"`
+	CacheHits   int64         `json:"cache_hits"`
+	CacheMisses int64         `json:"cache_misses"`
+}
+
+func (s *Server) stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Submitted:  s.submitted,
+		Rejected:   s.rejected,
+		ByState:    make(map[State]int),
+		QueueLen:   len(s.queue),
+		QueueDepth: s.cfg.QueueDepth,
+		Workers:    s.cfg.Workers,
+		Draining:   s.draining,
+	}
+	for _, job := range s.jobs {
+		st.ByState[job.Status().State]++
+	}
+	s.mu.Unlock()
+	st.CacheSize, st.CacheHits, st.CacheMisses = s.cache.counters()
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// --- JSON plumbing --------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]any{"error": msg, "status": strconv.Itoa(status)})
+}

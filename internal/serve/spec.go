@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"dragonfly/internal/core"
+	"dragonfly/internal/fault"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/topology"
+)
+
+// Job kinds.
+const (
+	KindRun   = "run"   // one load point
+	KindSweep = "sweep" // a latency-load curve
+)
+
+// Submission is the JSON body of POST /v1/jobs: what to simulate.
+// Omitted fields take the same defaults as the CLI tools, and the
+// defaulted form is what gets hashed — two submissions that mean the
+// same machine share one cache entry regardless of which defaults they
+// spelled out.
+type Submission struct {
+	// Kind selects "run" (one load point) or "sweep" (a load list).
+	Kind string `json:"kind"`
+	// Topology is the dragonfly under test.
+	Topology TopologySpec `json:"topology"`
+	// Algorithm and Pattern name a routing algorithm and traffic
+	// pattern (core.Algorithms / core.Patterns).
+	Algorithm string `json:"algorithm"`
+	Pattern   string `json:"pattern"`
+	// Seed makes the run reproducible (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Shards partitions the engine (0 = serial). Results are
+	// bit-identical for every value, so shards do NOT enter the job
+	// hash: a cached result computed at any shard count answers them
+	// all.
+	Shards int `json:"shards,omitempty"`
+	// Load is the offered load of a "run" job; Loads the points of a
+	// "sweep" (flits/cycle/terminal, each in [0,1]).
+	Load  float64   `json:"load,omitempty"`
+	Loads []float64 `json:"loads,omitempty"`
+	// Run is the measurement recipe.
+	Run RunSpec `json:"run"`
+	// Timeline, when non-empty, is a transient fault schedule in the
+	// fault.ParseTimeline grammar ("@2000 fail global=0.25; ...");
+	// FailSeed seeds its random draws (default 1).
+	Timeline string `json:"timeline,omitempty"`
+	FailSeed uint64 `json:"fail_seed,omitempty"`
+	// Window, for "run" jobs, collects a windowed telemetry series
+	// (obs.Windows) of this width in cycles, streamed live over the
+	// job's SSE feed and embedded in the report.
+	Window int64 `json:"window,omitempty"`
+	// TimeoutMS overrides the server's per-job timeout, clamped to it
+	// (a client may ask for less time, never more).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// TopologySpec is the dragonfly configuration of a submission. Zero
+// values take the paper defaults (p=h=4, a=8; buf 16; latencies 1/2).
+type TopologySpec struct {
+	P        int `json:"p,omitempty"`
+	A        int `json:"a,omitempty"`
+	H        int `json:"h,omitempty"`
+	Groups   int `json:"groups,omitempty"`
+	BufDepth int `json:"buf_depth,omitempty"`
+}
+
+// RunSpec is the measurement recipe of a submission. Zero values take
+// the 1K-network defaults (3000/2000/30000).
+type RunSpec struct {
+	Warmup  int `json:"warmup,omitempty"`
+	Measure int `json:"measure,omitempty"`
+	Drain   int `json:"drain,omitempty"`
+}
+
+// JobSpec is the canonical, fully-defaulted form of a submission: the
+// value the job hash covers and the executor consumes. Every field is
+// semantic — it can change the report — except Shards (bit-identical
+// by the engine's contract) and TimeoutMS (an execution bound, not a
+// result parameter), which ride along unhashed.
+type JobSpec struct {
+	Kind      string
+	P, A, H   int
+	Groups    int
+	BufDepth  int
+	Seed      uint64
+	Algorithm string
+	Pattern   string
+	Loads     []float64
+	Warmup    int
+	Measure   int
+	Drain     int
+	Timeline  string
+	FailSeed  uint64
+	Window    int64
+	Shards    int // unhashed
+	TimeoutMS int64
+}
+
+// Normalize validates the submission and returns its canonical spec.
+// Every rejection is a *RequestError with an HTTP 400 status; the
+// validation is deep enough that execution failures can only come from
+// the simulation itself (stall, timeout, cancel), never from a
+// malformed job that slipped into the queue.
+func (sub Submission) Normalize(limits Limits) (JobSpec, error) {
+	var s JobSpec
+	switch sub.Kind {
+	case KindRun, KindSweep:
+		s.Kind = sub.Kind
+	case "":
+		return s, badRequest("kind is required: %q or %q", KindRun, KindSweep)
+	default:
+		return s, badRequest("unknown kind %q (want %q or %q)", sub.Kind, KindRun, KindSweep)
+	}
+
+	// Topology defaults mirror core.NewSystem exactly, so the hash is
+	// canonical over meaning, not spelling.
+	s.P, s.A, s.H, s.Groups = sub.Topology.P, sub.Topology.A, sub.Topology.H, sub.Topology.Groups
+	if s.P == 0 && s.A == 0 && s.H == 0 {
+		s.P, s.A, s.H = 4, 8, 4
+	}
+	s.BufDepth = sub.Topology.BufDepth
+	if s.BufDepth == 0 {
+		s.BufDepth = 16
+	}
+	if s.P < 0 || s.A < 0 || s.H < 0 || s.Groups < 0 || s.BufDepth < 0 {
+		return s, badRequest("topology parameters must be non-negative")
+	}
+	// Validate the topology by building it (cheap: structural only),
+	// and bound the machine size a single request can demand.
+	topo, err := topology.NewDragonfly(s.P, s.A, s.H, s.Groups)
+	if err != nil {
+		return s, badRequest("topology: %v", err)
+	}
+	if max := limits.MaxNodes; max > 0 && topo.Nodes() > max {
+		return s, badRequest("topology has %d terminals, over the server's limit of %d", topo.Nodes(), max)
+	}
+
+	if _, err := core.ParseAlgorithm(sub.Algorithm); err != nil {
+		return s, badRequest("%v", err)
+	}
+	s.Algorithm = sub.Algorithm
+	if _, err := core.ParsePattern(sub.Pattern); err != nil {
+		return s, badRequest("%v", err)
+	}
+	s.Pattern = sub.Pattern
+
+	s.Seed = sub.Seed
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if sub.Shards < 0 {
+		return s, badRequest("shards must be >= 0")
+	}
+	s.Shards = sub.Shards
+
+	switch s.Kind {
+	case KindRun:
+		if len(sub.Loads) > 0 {
+			return s, badRequest(`"run" jobs take "load", not "loads"`)
+		}
+		s.Loads = []float64{sub.Load}
+	case KindSweep:
+		if sub.Load != 0 {
+			return s, badRequest(`"sweep" jobs take "loads", not "load"`)
+		}
+		if len(sub.Loads) == 0 {
+			return s, badRequest(`"sweep" jobs need a non-empty "loads" list`)
+		}
+		if max := limits.MaxSweepPoints; max > 0 && len(sub.Loads) > max {
+			return s, badRequest("sweep has %d load points, over the server's limit of %d", len(sub.Loads), max)
+		}
+		s.Loads = append([]float64(nil), sub.Loads...)
+	}
+	for _, l := range s.Loads {
+		if math.IsNaN(l) || math.IsInf(l, 0) || l < 0 || l > 1 {
+			return s, badRequest("load %v out of range: want a fraction in [0,1]", l)
+		}
+	}
+
+	s.Warmup, s.Measure, s.Drain = sub.Run.Warmup, sub.Run.Measure, sub.Run.Drain
+	if s.Warmup == 0 && s.Measure == 0 && s.Drain == 0 {
+		def := sim.DefaultRunConfig(0)
+		s.Warmup, s.Measure, s.Drain = def.WarmupCycles, def.MeasureCycles, def.DrainCycles
+	}
+	rc := sim.RunConfig{Load: s.Loads[0], WarmupCycles: s.Warmup, MeasureCycles: s.Measure, DrainCycles: s.Drain}
+	if err := rc.Validate(); err != nil {
+		return s, badRequest("%v", err)
+	}
+	if max := limits.MaxCycles; max > 0 && int64(s.Warmup)+int64(s.Measure)+int64(s.Drain) > max {
+		return s, badRequest("run asks for up to %d cycles, over the server's limit of %d", int64(s.Warmup)+int64(s.Measure)+int64(s.Drain), max)
+	}
+
+	s.Timeline = sub.Timeline
+	s.FailSeed = sub.FailSeed
+	if s.FailSeed == 0 {
+		s.FailSeed = 1
+	}
+	if s.Timeline != "" {
+		tl, err := fault.ParseTimeline(s.Timeline, s.FailSeed)
+		if err != nil {
+			return s, badRequest("timeline: %v", err)
+		}
+		if _, err := tl.Compile(topo); err != nil {
+			return s, badRequest("timeline: %v", err)
+		}
+	}
+
+	if sub.Window < 0 {
+		return s, badRequest("window must be >= 0")
+	}
+	if sub.Window > 0 && s.Kind != KindRun {
+		return s, badRequest(`"window" telemetry applies to "run" jobs only`)
+	}
+	s.Window = sub.Window
+
+	if sub.TimeoutMS < 0 {
+		return s, badRequest("timeout_ms must be >= 0")
+	}
+	s.TimeoutMS = sub.TimeoutMS
+	return s, nil
+}
+
+// Limits bounds what a single submission may demand of the server.
+type Limits struct {
+	// MaxNodes caps the terminal count of a submitted topology
+	// (0 = unlimited).
+	MaxNodes int
+	// MaxSweepPoints caps a sweep's load list (0 = unlimited).
+	MaxSweepPoints int
+	// MaxCycles caps warmup+measure+drain (0 = unlimited).
+	MaxCycles int64
+}
+
+// RequestError is a rejected request: a message plus the HTTP status it
+// maps to. Every validation failure is one, so handlers can write the
+// structured error without switching on error strings.
+type RequestError struct {
+	Status int
+	Msg    string
+}
+
+// Error returns the rejection message.
+func (e *RequestError) Error() string { return e.Msg }
+
+func badRequest(format string, args ...any) *RequestError {
+	return &RequestError{Status: 400, Msg: fmt.Sprintf(format, args...)}
+}

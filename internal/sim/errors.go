@@ -107,6 +107,45 @@ func (e *StallError) Error() string {
 // Unwrap makes errors.Is(err, ErrStalled) match.
 func (e *StallError) Unwrap() error { return ErrStalled }
 
+// ErrCanceled is the sentinel every cancellation failure wraps: the
+// run's context was canceled (or its deadline expired) and the engine
+// stopped at the next cycle-batch checkpoint. Match it with errors.Is
+// and retrieve the partial-run snapshot with errors.As on
+// *CanceledError. The underlying context error is also in the chain, so
+// errors.Is(err, context.DeadlineExceeded) distinguishes a timeout from
+// an explicit cancel.
+var ErrCanceled = errors.New("sim: run canceled")
+
+// CanceledError reports that a run observed its context's cancellation
+// and stopped, together with how far it got. Cancellation is observed
+// only at cycle-batch checkpoints between Steps — it never mutates
+// simulation state mid-cycle — so a canceled run's network is a valid
+// (merely unfinished) simulation, and re-running the same configuration
+// to completion on a fresh network is bit-identical to a run that was
+// never canceled.
+type CanceledError struct {
+	// Phase is the run phase the cancellation was observed in.
+	Phase Phase
+	// Cycle is the simulation cycle reached when the run stopped.
+	Cycle int64
+	// InFlight is the number of packets buffered or on channels at
+	// cancellation — the work the run abandoned.
+	InFlight int
+	// Cause is the context's error: context.Canceled or
+	// context.DeadlineExceeded.
+	Cause error
+}
+
+// Error describes the interrupted run.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("sim: run canceled during %s at cycle %d (%d packets in flight): %v",
+		e.Phase, e.Cycle, e.InFlight, e.Cause)
+}
+
+// Unwrap exposes both the ErrCanceled sentinel and the context cause,
+// so errors.Is matches either.
+func (e *CanceledError) Unwrap() []error { return []error{ErrCanceled, e.Cause} }
+
 // ErrUnroutable is the sentinel wrapped by every "destination truly
 // unreachable" routing failure; match with errors.Is. The simulator
 // drops unroutable packets (counting them in Result.Dropped) instead of

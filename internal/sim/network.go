@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -73,6 +74,14 @@ type Network struct {
 
 	// Injection control.
 	load float64
+
+	// Cancellation (SetContext): Step polls ctxDone at cycle-batch
+	// checkpoints (every ctxCheckInterval cycles, before the cycle body
+	// runs) and returns a *CanceledError when it is closed. ctxDone is
+	// nil when no cancelable context is installed — the common case pays
+	// one untaken branch per cycle and nothing else.
+	ctx     context.Context
+	ctxDone <-chan struct{}
 
 	// Measurement state (driven by Run). Both flags are written only
 	// between Steps and read (never written) inside the phases.
@@ -188,6 +197,29 @@ func New(topo Topology, cfg Config, routing Routing, traffic Traffic) (*Network,
 	}
 	n.buildShards(cfg.Shards)
 	return n, nil
+}
+
+// ctxCheckInterval is the cycle-batch granularity of the cancellation
+// checkpoint: Step polls the installed context's done channel once
+// every this many cycles (a power of two). Cancellation latency is
+// therefore at most ctxCheckInterval cycle bodies.
+const ctxCheckInterval = 64
+
+// SetContext installs ctx as the engine's cancellation signal: every
+// subsequent Step observes it at cycle-batch checkpoints (both the
+// serial and the sharded engine — the checkpoint sits before the
+// per-cycle pipeline dispatch) and returns a *CanceledError wrapping
+// ErrCanceled once it is done. A nil ctx, or one that can never be
+// canceled (context.Background), uninstalls the check entirely and
+// restores the zero-cost path. RunCtx installs and removes the run's
+// context automatically; SetContext is for callers driving Step by
+// hand.
+func (n *Network) SetContext(ctx context.Context) {
+	if ctx == nil {
+		n.ctx, n.ctxDone = nil, nil
+		return
+	}
+	n.ctx, n.ctxDone = ctx, ctx.Done()
 }
 
 // Now returns the current cycle.
@@ -341,6 +373,17 @@ func (n *Network) nextHop(sh *shard, r *Router, ref int32) error {
 // parallel main phase → event fold (see shard.go); with one shard it
 // runs inline on the calling goroutine.
 func (n *Network) Step() error {
+	// Cancellation checkpoint: observed between cycles, before anything
+	// mutates, so an interrupted network is a valid partial simulation.
+	// The batch interval bounds polling cost on tiny networks; one cycle
+	// of a large network already dwarfs the non-blocking channel check.
+	if n.ctxDone != nil && n.now&(ctxCheckInterval-1) == 0 {
+		select {
+		case <-n.ctxDone:
+			return &CanceledError{Cycle: n.now, InFlight: n.totalInFlight(), Cause: context.Cause(n.ctx)}
+		default:
+		}
+	}
 	n.now++
 	if len(n.shards) > 1 {
 		return n.stepSharded()

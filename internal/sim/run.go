@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -119,8 +121,23 @@ type Result struct {
 // Run executes the full warm-up/measure/drain sequence on net and
 // returns the measurements. The network keeps its state afterwards, so
 // successive runs at increasing load on a fresh network per load point
-// are the intended usage.
+// are the intended usage. Run cannot be canceled; long-running callers
+// should use RunCtx.
 func Run(net *Network, rc RunConfig) (Result, error) {
+	return RunCtx(context.Background(), net, rc)
+}
+
+// RunCtx is Run observing ctx: the engine polls the context at
+// cycle-batch checkpoints (every few dozen cycles, between cycle
+// bodies) in all three phases, and returns a *CanceledError — wrapping
+// both ErrCanceled and the context's cause, tagged with the phase it
+// stopped in — once ctx is done. The partial Result accompanies the
+// error: measurements accumulated up to the checkpoint (latency
+// accumulators, cycle count) are intact, because cancellation only
+// observes state, never mutates it. The network itself is left a valid
+// paused simulation; a fresh network re-run to completion is
+// bit-identical to a run that was never canceled.
+func RunCtx(ctx context.Context, net *Network, rc RunConfig) (Result, error) {
 	if err := rc.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -173,11 +190,14 @@ func Run(net *Network, rc RunConfig) (Result, error) {
 	// the zero-cost path. The observer is cleared first so no packet can
 	// be counted against a half-reset window.
 	prevCollector := net.Metrics()
+	prevCtx := net.ctx
+	net.SetContext(ctx)
 	defer func() {
 		net.OnEject = nil
 		net.measuring = false
 		net.countWindow = false
 		net.AttachMetrics(prevCollector)
+		net.SetContext(prevCtx)
 	}()
 
 	net.SetLoad(rc.Load)
@@ -197,6 +217,10 @@ func Run(net *Network, rc RunConfig) (Result, error) {
 				return nil
 			}
 			if err := net.Step(); err != nil {
+				var ce *CanceledError
+				if errors.As(err, &ce) {
+					ce.Phase = ph
+				}
 				return fmt.Errorf("sim: %s phase: %w", ph, err)
 			}
 			if stalled() {
