@@ -112,3 +112,46 @@ func TestSteadyStateTracerBounded(t *testing.T) {
 		t.Errorf("tracing steady state allocated %.4f objects/cycle with a full ring, want 0", allocs)
 	}
 }
+
+// TestSteadyStateZeroAllocZoo extends the gate across the topology
+// layer: the pluggable machines (here Dragonfly+, with its two-tier
+// leaf/spine groups, and the swapped dragonfly with its non-uniform
+// router radix) must hit the same allocation-free steady state as the
+// canonical dragonfly — the contract is a property of the engine and
+// the routing layer, not of one topology's port layout.
+func TestSteadyStateZeroAllocZoo(t *testing.T) {
+	for _, tc := range []struct {
+		family string
+		params map[string]int
+	}{
+		{"dragonflyplus", map[string]int{"p": 2, "leaves": 4, "spines": 4, "h": 2}},
+		{"swapped", map[string]int{"p": 2, "k": 6}},
+	} {
+		sys, err := core.NewSystem(core.SystemConfig{Topology: tc.family, TopoParams: tc.params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := sys.NewNetwork(core.AlgUGALLVCH, core.PatternUR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.SetLoad(0.2)
+		for cyc := 0; cyc < 3000; cyc++ {
+			if err := net.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var stepErr error
+		allocs := testing.AllocsPerRun(2000, func() {
+			if err := net.Step(); err != nil {
+				stepErr = err
+			}
+		})
+		if stepErr != nil {
+			t.Fatal(stepErr)
+		}
+		if allocs != 0 {
+			t.Errorf("%s: steady-state Step allocated %.4f objects/cycle with collectors disabled, want 0", tc.family, allocs)
+		}
+	}
+}

@@ -40,7 +40,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
-			sys, _ := benchSystem(b, 0)
+			sys, _ := benchSystem(b, simBenchScenario{})
 			net, err := sys.NewNetwork(core.AlgUGALLVCH, core.PatternUR)
 			if err != nil {
 				b.Fatalf("NewNetwork: %v", err)

@@ -67,6 +67,12 @@ type simBenchScenario struct {
 	load       float64
 	failGlobal float64
 	shards     int
+	// family/params select a registry topology instead of the default
+	// canonical dragonfly (see benchSystem for the scale handling).
+	family string
+	params map[string]int
+	// quickParams replaces params under DFLY_BENCH_SCALE=quick.
+	quickParams map[string]int
 }
 
 func simBenchScenarios() []simBenchScenario {
@@ -81,28 +87,60 @@ func simBenchScenarios() []simBenchScenario {
 		// mailbox crossings.
 		{name: "low/sharded4", alg: core.AlgUGALLVCH, pattern: core.PatternUR, load: 0.1, shards: 4},
 		{name: "sat/sharded4", alg: core.AlgUGALLVCH, pattern: core.PatternWC, load: 0.5, shards: 4},
+		// The topology zoo at the same radix class as the 1K dragonfly:
+		// per-cycle cost of the pluggable machines, so a regression in
+		// one family's oracle or port layout shows up next to the
+		// canonical numbers.
+		{name: "mid/dragonflyplus", alg: core.AlgUGALLVCH, pattern: core.PatternUR, load: 0.3,
+			family:      "dragonflyplus",
+			params:      map[string]int{"p": 4, "leaves": 8, "spines": 8, "h": 4},
+			quickParams: map[string]int{"p": 2, "leaves": 4, "spines": 4, "h": 2}},
+		{name: "mid/swapped", alg: core.AlgUGALLVCH, pattern: core.PatternUR, load: 0.3,
+			family:      "swapped",
+			params:      map[string]int{"p": 4, "k": 12},
+			quickParams: map[string]int{"p": 2, "k": 6}},
+		{name: "mid/aries", alg: core.AlgUGALLVCH, pattern: core.PatternUR, load: 0.3,
+			family:      "aries",
+			params:      map[string]int{"p": 4, "blades": 8, "chassis": 2, "bundle": 1, "h": 4, "g": 9},
+			quickParams: map[string]int{"p": 1, "blades": 4, "chassis": 2, "bundle": 2, "h": 2, "g": 8}},
 	}
 }
 
-// benchSystem builds the benchmark machine: the paper's 1K-node network,
-// or the 72-node example under DFLY_BENCH_SCALE=quick.
-func benchSystem(b *testing.B, failGlobal float64) (*core.System, string) {
+// benchSystem builds the benchmark machine: the scenario's registry
+// topology if one is named, otherwise the paper's 1K-node network —
+// both shrunk under DFLY_BENCH_SCALE=quick.
+func benchSystem(b *testing.B, sc simBenchScenario) (*core.System, string) {
 	b.Helper()
-	cfg := core.SystemConfig{P: 4, A: 8, H: 4}
-	name := "1K-node (p=4,a=8,h=4)"
-	if os.Getenv("DFLY_BENCH_SCALE") == "quick" {
-		cfg = core.SystemConfig{P: 2, A: 4, H: 2}
-		name = "72-node (p=2,a=4,h=2)"
+	quick := os.Getenv("DFLY_BENCH_SCALE") == "quick"
+	var cfg core.SystemConfig
+	var name string
+	if sc.family != "" {
+		params := sc.params
+		if quick && sc.quickParams != nil {
+			params = sc.quickParams
+		}
+		cfg = core.SystemConfig{Topology: sc.family, TopoParams: params}
+		name = sc.family
+	} else {
+		cfg = core.SystemConfig{P: 4, A: 8, H: 4}
+		name = "1K-node (p=4,a=8,h=4)"
+		if quick {
+			cfg = core.SystemConfig{P: 2, A: 4, H: 2}
+			name = "72-node (p=2,a=4,h=2)"
+		}
 	}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		b.Fatalf("NewSystem: %v", err)
 	}
-	if failGlobal > 0 {
+	if sc.family != "" {
+		name = fmt.Sprintf("%v", sys.Topo)
+	}
+	if sc.failGlobal > 0 {
 		plan := fault.NewPlan(7)
-		plan.FailFraction(sys.Topo, topology.ClassGlobal, failGlobal)
+		plan.FailFraction(sys.Topo, topology.ClassGlobal, sc.failGlobal)
 		sys = sys.WithFaults(plan)
-		name += fmt.Sprintf(" %g%% globals failed", failGlobal*100)
+		name += fmt.Sprintf(" %g%% globals failed", sc.failGlobal*100)
 	}
 	return sys, name
 }
@@ -112,7 +150,7 @@ func benchSystem(b *testing.B, failGlobal float64) (*core.System, string) {
 func BenchmarkSimCycle(b *testing.B) {
 	for _, sc := range simBenchScenarios() {
 		b.Run(sc.name, func(b *testing.B) {
-			sys, netName := benchSystem(b, sc.failGlobal)
+			sys, netName := benchSystem(b, sc)
 			net, err := sys.NewNetwork(sc.alg, sc.pattern)
 			if err != nil {
 				b.Fatalf("NewNetwork: %v", err)

@@ -32,6 +32,8 @@
 // Usage:
 //
 //	dfly-sim -alg UGAL-L_VCH -pattern WC -load 0.3 -p 4 -a 8 -h 4 -buf 16
+//	dfly-sim -topology swapped -topo-params "p=2,k=8" -alg MIN -load 0.2
+//	dfly-sim -topology dragonflyplus -topo-params "p=2,leaves=4,spines=4,h=2" -sweep 0.1:0.9:0.1
 //	dfly-sim -alg UGAL-L -pattern WC -sweep 0.05:0.5:0.05 -jobs 4
 //	dfly-sim -alg UGAL-L -fail-global 0.1 -fail-seed 7 -sweep 0.1:0.9:0.1
 //	dfly-sim -alg UGAL-L -fault-timeline "@2000 fail global=0.25; @8000 recover all"
@@ -80,6 +82,8 @@ func main() {
 		a       = flag.Int("a", 8, "routers per group")
 		h       = flag.Int("h", 4, "global channels per router")
 		groups  = flag.Int("g", 0, "groups (0 = maximal a*h+1)")
+		family  = flag.String("topology", "", "topology family instead of the canonical dragonfly: "+strings.Join(topology.FamilyNames(), ", "))
+		fparams = flag.String("topo-params", "", `build parameters for -topology as "k=v,k=v" (omitted keys take the family defaults; exclusive with -p/-a/-h/-g)`)
 		buf     = flag.Int("buf", 16, "input buffer depth per VC (flits)")
 		warmup  = flag.Int("warmup", 3000, "warm-up cycles")
 		measure = flag.Int("measure", 2000, "measurement cycles")
@@ -168,10 +172,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sys, err := core.NewSystem(core.SystemConfig{
+	scfg := core.SystemConfig{
 		P: *p, A: *a, H: *h, Groups: *groups, BufDepth: *buf, Seed: *seed,
 		Shards: *shards,
-	})
+	}
+	if *family != "" {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "p", "a", "h", "g":
+				fatal(fmt.Errorf("-topology %s takes its parameters from -topo-params, not -%s", *family, f.Name))
+			}
+		})
+		params, err := parseTopoParams(*fparams)
+		if err != nil {
+			fatal(err)
+		}
+		scfg.Topology, scfg.TopoParams = *family, params
+		scfg.P, scfg.A, scfg.H, scfg.Groups = 0, 0, 0, 0
+	} else if *fparams != "" {
+		fatal(fmt.Errorf("-topo-params needs -topology"))
+	}
+	sys, err := core.NewSystem(scfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -422,6 +443,28 @@ func runSweep(ctx context.Context, sys *core.System, alg core.Algorithm, pat cor
 		}
 	}
 	checkUnroutable(dropped, delivered)
+}
+
+// parseTopoParams parses the -topo-params "k=v,k=v" list into the
+// parameter map topology.Build consumes (key validation happens there,
+// against the family's schema).
+func parseTopoParams(spec string) (map[string]int, error) {
+	params := map[string]int{}
+	if spec == "" {
+		return params, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("-topo-params: %q is not k=v", kv)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil {
+			return nil, fmt.Errorf("-topo-params: bad value in %q: %w", kv, err)
+		}
+		params[strings.TrimSpace(k)] = n
+	}
+	return params, nil
 }
 
 // parseSweep parses a from:to:step load range.

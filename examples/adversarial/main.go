@@ -12,6 +12,7 @@ import (
 
 	"dragonfly/internal/core"
 	"dragonfly/internal/sim"
+	"dragonfly/internal/topology"
 )
 
 func main() {
@@ -19,7 +20,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	d := sys.Topo
+	d := sys.Topo.(*topology.Dragonfly) // default config: canonical dragonfly
 	fmt.Println("network:", d)
 	fmt.Printf("worst-case pattern: group i -> random node of group i+1\n")
 	fmt.Printf("minimal-routing bound: 1/(a*h) = %.4f flits/cycle/terminal\n\n", 1/float64(d.A*d.H))

@@ -10,6 +10,7 @@ import (
 
 	"dragonfly/internal/core"
 	"dragonfly/internal/sim"
+	"dragonfly/internal/topology"
 )
 
 func main() {
@@ -18,7 +19,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	d := sys.Topo
+	d := sys.Topo.(*topology.Dragonfly) // P/A/H config: canonical dragonfly
 	fmt.Println("topology:", d)
 	fmt.Printf("  groups: %d routers of radix %d each; virtual router radix k' = %d\n",
 		d.A, d.RouterRadix(), d.EffectiveRadix())

@@ -79,12 +79,23 @@ func ParsePattern(s string) (Pattern, error) {
 	return "", fmt.Errorf("core: unknown traffic pattern %q (supported: %v)", s, Patterns())
 }
 
-// SystemConfig describes a dragonfly machine and its simulation
-// parameters. Zero values take the paper's defaults.
+// SystemConfig describes a machine and its simulation parameters. Zero
+// values take the paper's defaults.
 type SystemConfig struct {
-	// P, A, H are the dragonfly parameters (terminals per router,
-	// routers per group, global channels per router). Defaults: the
-	// paper's 1K evaluation network p=h=4, a=8.
+	// Topology selects a registered topology family
+	// (topology.FamilyNames: "dragonfly", "dragonflyfb",
+	// "dragonflyplus", "swapped", "aries"). Empty means the canonical
+	// dragonfly built from the P/A/H/Groups fields below. When
+	// non-empty, the machine is built from TopoParams instead and
+	// P/A/H/Groups are ignored.
+	Topology string
+	// TopoParams are the family build parameters (omitted keys take the
+	// family's schema defaults). Only consulted when Topology is set.
+	TopoParams map[string]int
+	// P, A, H are the canonical dragonfly parameters (terminals per
+	// router, routers per group, global channels per router), used when
+	// Topology is empty. Defaults: the paper's 1K evaluation network
+	// p=h=4, a=8.
 	P, A, H int
 	// Groups is the group count; 0 means the maximal a*h+1.
 	Groups int
@@ -107,10 +118,10 @@ type SystemConfig struct {
 	Faults topology.FaultView
 }
 
-// System is a configured dragonfly: topology plus simulation defaults.
+// System is a configured machine: topology plus simulation defaults.
 type System struct {
-	// Topo is the constructed dragonfly topology.
-	Topo *topology.Dragonfly
+	// Topo is the constructed topology.
+	Topo topology.Machine
 	cfg  SystemConfig
 	deg  *topology.Degraded
 	// sched is the compiled fault timeline (nil for static systems);
@@ -120,9 +131,6 @@ type System struct {
 
 // NewSystem validates the configuration and builds the topology.
 func NewSystem(cfg SystemConfig) (*System, error) {
-	if cfg.P == 0 && cfg.A == 0 && cfg.H == 0 {
-		cfg.P, cfg.A, cfg.H = 4, 8, 4
-	}
 	if cfg.BufDepth == 0 {
 		cfg.BufDepth = 16
 	}
@@ -135,7 +143,16 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	d, err := topology.NewDragonfly(cfg.P, cfg.A, cfg.H, cfg.Groups)
+	var d topology.Machine
+	var err error
+	if cfg.Topology == "" {
+		if cfg.P == 0 && cfg.A == 0 && cfg.H == 0 {
+			cfg.P, cfg.A, cfg.H = 4, 8, 4
+		}
+		d, err = topology.NewDragonfly(cfg.P, cfg.A, cfg.H, cfg.Groups)
+	} else {
+		d, err = topology.Build(cfg.Topology, cfg.TopoParams)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +198,7 @@ func (s *System) WithTimeline(sched *fault.Schedule) (*System, error) {
 		return nil, fmt.Errorf("core: fault schedule has no epochs")
 	}
 	for i, e := range sched.Epochs {
-		if e.View == nil || e.View.Dragonfly != s.Topo {
+		if e.View == nil || e.View.Machine != s.Topo {
 			return nil, fmt.Errorf("core: fault schedule epoch %d was not compiled against this system's topology", i)
 		}
 	}
@@ -210,11 +227,17 @@ func (s *System) routingTopo() routing.Topo {
 func (s *System) Config() SystemConfig { return s.cfg }
 
 // SimConfig returns the simulator configuration for the given algorithm
-// (UGAL-L_CR switches the delayed-credit mechanism on).
+// (UGAL-L_CR switches the delayed-credit mechanism on). The VC count is
+// the routing ladder's requirement or the topology's own MinVCs policy,
+// whichever is larger (all current machines need exactly the ladder's 3).
 func (s *System) SimConfig(alg Algorithm) sim.Config {
+	vcs := routing.VCs
+	if m := s.Topo.MinVCs(); m > vcs {
+		vcs = m
+	}
 	return sim.Config{
 		BufDepth:      s.cfg.BufDepth,
-		VCs:           routing.VCs,
+		VCs:           vcs,
 		LocalLatency:  s.cfg.LocalLatency,
 		GlobalLatency: s.cfg.GlobalLatency,
 		DelayCredits:  alg == AlgUGALLCR,
@@ -264,7 +287,7 @@ func (s *System) Traffic(p Pattern) (sim.Traffic, error) {
 	case PatternBitComplement:
 		return traffic.NewBitComplement(n), nil
 	case PatternTornado:
-		return traffic.NewGroupOffset(s.Topo, s.Topo.G/2)
+		return traffic.NewGroupOffset(s.Topo, s.Topo.Groups()/2)
 	case PatternPermutation:
 		return traffic.NewPermutation(n, s.cfg.Seed), nil
 	default:

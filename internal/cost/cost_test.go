@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"dragonfly/internal/topology"
 )
 
 func TestCableModelsFigure2(t *testing.T) {
@@ -325,5 +327,64 @@ func TestFoldedClosLevelsRaiseCost(t *testing.T) {
 	}
 	if three.PerNode() <= two.PerNode() {
 		t.Errorf("3-level Clos per-node cost %v should exceed 2-level %v", three.PerNode(), two.PerNode())
+	}
+}
+
+// TestMachineCostMatchesDragonflyConfig: pricing a built canonical
+// dragonfly through the generic Machine path must agree with the
+// analytic DragonflyConfig path on every census and cost component —
+// the generic path reads the Descriptor, the analytic one closed
+// forms, and the conformance suite ties Descriptor to the wiring.
+func TestMachineCostMatchesDragonflyConfig(t *testing.T) {
+	m := DefaultModel()
+	d, err := topology.NewDragonfly(16, 16, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Machine(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.DragonflyConfig(d.Nodes(), 16, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nodes != want.Nodes || got.Routers != want.Routers || got.RouterRadix != want.RouterRadix {
+		t.Errorf("structure mismatch: Machine %+v vs DragonflyConfig %+v", got, want)
+	}
+	if got.LocalChannels != want.LocalChannels || got.GlobalChannels != want.GlobalChannels || got.TerminalChannels != want.TerminalChannels {
+		t.Errorf("census mismatch: Machine %d/%d/%d vs DragonflyConfig %d/%d/%d",
+			got.TerminalChannels, got.LocalChannels, got.GlobalChannels,
+			want.TerminalChannels, want.LocalChannels, want.GlobalChannels)
+	}
+	if diff := got.Total() - want.Total(); diff < -1e-6 || diff > 1e-6 {
+		t.Errorf("total cost mismatch: Machine %.4f vs DragonflyConfig %.4f", got.Total(), want.Total())
+	}
+}
+
+// TestMachineCostNonUniformRadix: a Dragonfly+ machine's router cost
+// must charge only the ports each router actually has, not
+// routers x max radix.
+func TestMachineCostNonUniformRadix(t *testing.T) {
+	m := DefaultModel()
+	dp, err := topology.NewDragonflyPlus(2, 4, 4, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Machine(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := 0
+	for r := 0; r < dp.Routers(); r++ {
+		ports += dp.Radix(r)
+	}
+	if ports >= dp.Routers()*dp.RouterRadix() {
+		t.Fatalf("test machine is uniform (ports=%d, routers*radix=%d); pick an asymmetric one",
+			ports, dp.Routers()*dp.RouterRadix())
+	}
+	want := float64(ports) * m.Router.PerPort(dp.RouterRadix())
+	if diff := got.RouterCost - want; diff < -1e-6 || diff > 1e-6 {
+		t.Errorf("router cost %.4f, want per-actual-port %.4f", got.RouterCost, want)
 	}
 }

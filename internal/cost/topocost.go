@@ -162,6 +162,44 @@ func (m Model) DragonflyConfig(n, p, a, h int) (Breakdown, error) {
 	return b, nil
 }
 
+// Machine prices any built topology.Machine from its structure
+// descriptor and wiring census, with the same placement assumptions as
+// DragonflyConfig: groups packed into consecutive cabinets, local
+// channels on backplanes or short jumpers depending on the group's
+// cabinet span, global channels at the mean cabinet-pair distance.
+// Router cost sums the actual per-router port counts (leaf/spine and
+// partially-populated machines pay only for the ports they have) at
+// the machine's maximum-radix price class.
+func (m Model) Machine(mach topology.Machine) (Breakdown, error) {
+	if err := m.Layout.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	desc := mach.Describe()
+	b := Breakdown{
+		Name:        mach.String(),
+		Nodes:       desc.Terminals,
+		Routers:     desc.Routers,
+		RouterRadix: desc.RouterRadix,
+	}
+	b.TerminalChannels = desc.TerminalChannels
+	b.LocalChannels = desc.LocalChannels
+	b.GlobalChannels = desc.GlobalChannels
+
+	ports := 0
+	for r := 0; r < desc.Routers; r++ {
+		ports += mach.Radix(r)
+	}
+	b.RouterCost = float64(ports) * m.Router.PerPort(desc.RouterRadix)
+	b.TerminalCost = float64(desc.TerminalChannels) * Electrical.CostPerGb(m.Layout.BackplaneM)
+	groupCabinets := m.Layout.Cabinets(desc.TerminalsPerGroup)
+	b.LocalCost = float64(desc.LocalChannels) * CheapestCable(m.localCableM(groupCabinets))
+	if desc.GlobalChannels > 0 {
+		b.AvgGlobalLenM = m.Layout.MeanPairDistanceM(m.Layout.Cabinets(desc.Terminals))
+		b.GlobalCost = float64(desc.GlobalChannels) * CheapestCable(b.AvgGlobalLenM)
+	}
+	return b, nil
+}
+
 // FlattenedButterfly prices a k-ary n-flat sized for n terminals from
 // radix-64 routers with concentration 16: dimension sizes of 16 with the
 // last dimension shrunk to fit. Dimension 0 stays inside a cabinet

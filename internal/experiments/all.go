@@ -31,7 +31,7 @@ func Names() []string {
 	return []string{
 		"fig1", "table1", "fig2", "fig4", "fig6",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig14", "fig16",
-		"fig18", "fig19", "table2", "resilience", "transient",
+		"fig18", "fig19", "table2", "resilience", "transient", "topozoo",
 	}
 }
 
@@ -115,6 +115,12 @@ func (r Runner) run(s Scale, name string) ([]Exhibit, error) {
 		return wrapFs(Resilience(s))
 	case "transient":
 		return wrapFs(Transient(s))
+	case "topozoo":
+		t, err := TopoZoo(s)
+		if err != nil {
+			return nil, err
+		}
+		return []Exhibit{t}, nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, Names())
 	}

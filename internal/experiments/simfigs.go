@@ -6,6 +6,7 @@ import (
 	"dragonfly/internal/core"
 	"dragonfly/internal/metrics"
 	"dragonfly/internal/sim"
+	"dragonfly/internal/topology"
 )
 
 // evalSystem builds the evaluation machine: the paper's 1K-node network
@@ -127,7 +128,7 @@ func Fig09(s Scale) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := sys.Topo
+	d := sys.Topo.(*topology.Dragonfly) // evalSystem builds the canonical dragonfly
 	f := &Figure{
 		ID:     "Figure 9",
 		Title:  "Global channel utilisation, WC traffic at load 0.2",

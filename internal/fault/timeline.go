@@ -186,7 +186,7 @@ func (s *Schedule) EpochAt(cycle int64) int {
 // cycles or counts, fractions outside [0,1], router ids out of range)
 // and on any epoch that would leave zero live terminals — a timeline
 // must degrade the machine, not erase it.
-func (tl *Timeline) Compile(d *topology.Dragonfly) (*Schedule, error) {
+func (tl *Timeline) Compile(d topology.Machine) (*Schedule, error) {
 	evs := make([]tevent, len(tl.events))
 	copy(evs, tl.events)
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].cycle < evs[j].cycle })
@@ -247,7 +247,7 @@ func (tl *Timeline) Compile(d *topology.Dragonfly) (*Schedule, error) {
 }
 
 // apply executes one event against the compile-time plan state.
-func (tl *Timeline) apply(st *Plan, d *topology.Dragonfly, e tevent) {
+func (tl *Timeline) apply(st *Plan, d topology.Machine, e tevent) {
 	switch e.op {
 	case opFailChannels:
 		st.FailRandomChannels(d, e.class, e.count)

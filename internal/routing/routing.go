@@ -40,10 +40,14 @@ const (
 	vcDestHop = 2 // the final local hop inside the destination group
 )
 
-// Topo is the structural view of a dragonfly the routing algorithms
-// need. Both *topology.Dragonfly (canonical, fully connected groups) and
-// *topology.DragonflyFB (Figure 6(b), flattened-butterfly groups)
-// implement it.
+// Topo is the structural view of a dragonfly-family machine the
+// routing algorithms need: a structural subset of topology.Machine, so
+// every registered topology — *topology.Dragonfly, *DragonflyFB,
+// *DragonflyPlus, *Swapped, *Aries — implements it, as do the
+// fault-aware Degraded/Switched wrappers. The one structural invariant
+// the algorithms assume is the dragonfly family's: any two groups are
+// connected by at least one direct global channel, so minimal paths
+// take exactly one global hop and Valiant paths two.
 type Topo interface {
 	// Groups returns the group count.
 	Groups() int
@@ -93,19 +97,35 @@ type DegradedTopo interface {
 	RoutersPerGroup() int
 }
 
+// SeededTopo is the optional bundle-spreading capability of topologies
+// with parallel local links (topology.SeededLocal): LocalRouteSeeded is
+// LocalRoute with a deterministic per-packet choice among the parallel
+// cables of a local hop. Detected by type assertion in newBase; direct
+// local hops then spread over the bundle while hop counts and detours
+// keep using LocalRoute/LocalHops (every cable of a bundle is one hop).
+type SeededTopo interface {
+	LocalRouteSeeded(from, to int, seed uint64) int
+}
+
 // base carries the dragonfly structure all algorithms share. deg is
 // non-nil when the topology is a fault-aware degraded view; every
-// structural query then consults channel liveness.
+// structural query then consults channel liveness. sl is non-nil when
+// the topology spreads parallel local links per packet.
 type base struct {
 	topo Topo
 	deg  DegradedTopo
+	sl   SeededTopo
 }
 
-// newBase wraps t, detecting a degraded (fault-aware) topology.
+// newBase wraps t, detecting a degraded (fault-aware) topology and the
+// optional local-bundle capability.
 func newBase(t Topo) base {
 	b := base{topo: t}
 	if d, ok := t.(DegradedTopo); ok {
 		b.deg = d
+	}
+	if s, ok := t.(SeededTopo); ok {
+		b.sl = s
 	}
 	return b
 }
@@ -164,6 +184,9 @@ func (b *base) localPort(rID, toIdx int, seed uint64) (int, error) {
 	t := b.topo
 	idx := t.RouterIndex(rID)
 	direct := t.LocalRoute(idx, toIdx)
+	if b.sl != nil {
+		direct = b.sl.LocalRouteSeeded(idx, toIdx, seed)
+	}
 	if b.deg == nil || b.deg.Alive(rID, direct) {
 		return direct, nil
 	}

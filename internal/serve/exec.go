@@ -104,7 +104,7 @@ func (s *Server) executeIsolated(ctx context.Context, job *Job) (report []byte, 
 func (s *Server) execute(ctx context.Context, job *Job) ([]byte, error) {
 	spec := job.Spec
 	sys, err := core.NewSystem(core.SystemConfig{
-		P: spec.P, A: spec.A, H: spec.H, Groups: spec.Groups,
+		Topology: spec.Family, TopoParams: spec.Params,
 		BufDepth: spec.BufDepth, Seed: spec.Seed, Shards: spec.Shards,
 	})
 	if err != nil {

@@ -5,13 +5,14 @@ import (
 	"encoding/hex"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // jobHashVersion is the first line fed to the digest. Bump it whenever
 // the canonical encoding below changes meaning — a version bump
 // invalidates every cached result, which is exactly right when the
 // encoding (and therefore the equality relation) moves.
-const jobHashVersion = "dfly-job/1"
+const jobHashVersion = "dfly-job/2"
 
 // Hash returns the canonical job digest: a hex SHA-256 over a
 // line-oriented rendering of every result-affecting field, in a fixed
@@ -29,7 +30,16 @@ func (s JobSpec) Hash() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s\n", jobHashVersion)
 	fmt.Fprintf(h, "kind=%s\n", s.Kind)
-	fmt.Fprintf(h, "p=%d\na=%d\nh=%d\ngroups=%d\nbuf=%d\n", s.P, s.A, s.H, s.Groups, s.BufDepth)
+	fmt.Fprintf(h, "topology=%s\n", s.Family)
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "param.%s=%d\n", k, s.Params[k])
+	}
+	fmt.Fprintf(h, "buf=%d\n", s.BufDepth)
 	fmt.Fprintf(h, "seed=%d\n", s.Seed)
 	fmt.Fprintf(h, "alg=%s\npattern=%s\n", s.Algorithm, s.Pattern)
 	for _, l := range s.Loads {

@@ -48,12 +48,69 @@ func TestHashDefaultsCancelOut(t *testing.T) {
 	}
 }
 
+// TestHashSpellingsCancelOut pins the stronger canonicalisation
+// property of dfly-job/2: the legacy p/a/h shorthand and the registry
+// family+params spelling of the same machine share one hash (and
+// therefore one cache entry), including when the family spelling leans
+// on schema defaults.
+func TestHashSpellingsCancelOut(t *testing.T) {
+	legacy := Submission{Kind: KindRun, Algorithm: "MIN", Pattern: "UR", Load: 0.1,
+		Topology: TopologySpec{P: 2, A: 4, H: 2}}
+	family := Submission{Kind: KindRun, Algorithm: "MIN", Pattern: "UR", Load: 0.1,
+		Topology: TopologySpec{Family: "dragonfly", Params: map[string]int{"p": 2, "a": 4, "h": 2}}}
+	if a, b := mustHash(t, legacy), mustHash(t, family); a != b {
+		t.Errorf("legacy spelling hashes %s, family spelling %s: want equal", a, b)
+	}
+	// Schema defaults cancel too: the default dragonfly by any name.
+	terse := Submission{Kind: KindRun, Algorithm: "MIN", Pattern: "UR", Load: 0.1}
+	fam := Submission{Kind: KindRun, Algorithm: "MIN", Pattern: "UR", Load: 0.1,
+		Topology: TopologySpec{Family: "dragonfly"}}
+	if a, b := mustHash(t, terse), mustHash(t, fam); a != b {
+		t.Errorf("default dragonfly hashes %s by shorthand, %s by family: want equal", a, b)
+	}
+}
+
+// TestHashFamiliesDistinct: different families with overlapping
+// parameter values must not collide.
+func TestHashFamiliesDistinct(t *testing.T) {
+	seen := map[string]string{}
+	for _, topo := range []TopologySpec{
+		{Family: "dragonfly", Params: map[string]int{"p": 2, "a": 4, "h": 2}},
+		{Family: "dragonflyplus", Params: map[string]int{"p": 2, "leaves": 4, "spines": 4, "h": 2}},
+		{Family: "swapped", Params: map[string]int{"p": 2, "k": 4}},
+		{Family: "aries", Params: map[string]int{"p": 1, "blades": 4, "chassis": 2, "bundle": 2, "h": 2, "g": 4}},
+	} {
+		h := mustHash(t, Submission{Kind: KindRun, Algorithm: "MIN", Pattern: "UR", Load: 0.1, Topology: topo})
+		if prev, dup := seen[h]; dup {
+			t.Errorf("families %s and %s share hash %s", prev, topo.Family, h)
+		}
+		seen[h] = topo.Family
+	}
+}
+
+// TestNormalizeTopologyRejections: the family spelling is validated as
+// deeply as the legacy one.
+func TestNormalizeTopologyRejections(t *testing.T) {
+	for name, topo := range map[string]TopologySpec{
+		"unknown family":  {Family: "hypercube"},
+		"unknown param":   {Family: "swapped", Params: map[string]int{"p": 2, "q": 4}},
+		"mixed spellings": {Family: "swapped", P: 2},
+		"params w/o family": {Params: map[string]int{"p": 2}},
+		"invalid build":   {Family: "swapped", Params: map[string]int{"p": 2, "k": 4, "m": 9}},
+	} {
+		sub := Submission{Kind: KindRun, Algorithm: "MIN", Pattern: "UR", Load: 0.1, Topology: topo}
+		if _, err := sub.Normalize(Limits{}); err == nil {
+			t.Errorf("%s: Normalize accepted %+v", name, topo)
+		}
+	}
+}
+
 // TestHashGolden pins the exact digest of a fixed submission. A change
 // here means the canonical encoding moved: every cached result in every
 // deployment is invalidated, so the change must be deliberate and come
 // with a jobHashVersion bump.
 func TestHashGolden(t *testing.T) {
-	const want = "16259e95be443664f7be17e3c2132e7250e2d7b74232ce8d6559cee27d00f1d1"
+	const want = "bd8eb1d3ebd78be7fafb0325f18b38167b2afc492536b0d8813febc18524b90f"
 	got := mustHash(t, Submission{Kind: KindRun, Algorithm: "MIN", Pattern: "UR", Load: 0.1})
 	if got != want {
 		t.Errorf("golden job hash moved:\n got %s\nwant %s\n(bump jobHashVersion if the encoding changed deliberately)", got, want)

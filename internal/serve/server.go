@@ -24,6 +24,7 @@ import (
 	"context"
 
 	"dragonfly/internal/parallel"
+	"dragonfly/internal/topology"
 )
 
 // Config parameterises a Server. Zero values take the stated defaults.
@@ -128,6 +129,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 
@@ -416,6 +418,24 @@ func (s *Server) stats() Stats {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.stats())
+}
+
+// TopologyInfo is one entry of the GET /v1/topologies listing: a
+// registered topology family and its parameter schema, enough for a
+// client to compose a valid "topology" stanza without guessing.
+type TopologyInfo struct {
+	Name   string               `json:"name"`
+	Doc    string               `json:"doc"`
+	Params []topology.ParamSpec `json:"params"`
+}
+
+func (s *Server) handleTopologies(w http.ResponseWriter, r *http.Request) {
+	fams := topology.Families()
+	out := make([]TopologyInfo, len(fams))
+	for i, f := range fams {
+		out[i] = TopologyInfo{Name: f.Name, Doc: f.Doc, Params: f.Params}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"topologies": out})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

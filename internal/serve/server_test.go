@@ -493,3 +493,64 @@ func TestShutdownDeadlineCancelsStragglers(t *testing.T) {
 		t.Errorf("straggler finished %q, want canceled", fin.State)
 	}
 }
+
+// TestTopologiesEndpoint: GET /v1/topologies lists every registered
+// family with its parameter schema.
+func TestTopologiesEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, err := ts.Client().Get(ts.URL + "/v1/topologies")
+	if err != nil {
+		t.Fatalf("GET /v1/topologies: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/topologies: status %d", resp.StatusCode)
+	}
+	var body struct {
+		Topologies []TopologyInfo `json:"topologies"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	want := map[string]bool{"dragonfly": false, "dragonflyfb": false, "dragonflyplus": false, "swapped": false, "aries": false}
+	for _, ti := range body.Topologies {
+		if _, ok := want[ti.Name]; ok {
+			want[ti.Name] = true
+		}
+		if len(ti.Params) == 0 {
+			t.Errorf("family %s listed without a parameter schema", ti.Name)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("family %s missing from /v1/topologies", name)
+		}
+	}
+}
+
+// TestSubmitFamilyJob runs a non-dragonfly family end to end through
+// the service, with a fault timeline for good measure.
+func TestSubmitFamilyJob(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	sub := Submission{
+		Kind:      KindRun,
+		Topology:  TopologySpec{Family: "swapped", Params: map[string]int{"p": 2, "k": 4}},
+		Algorithm: "MIN",
+		Pattern:   "UR",
+		Load:      0.1,
+		Run:       RunSpec{Warmup: 50, Measure: 50, Drain: 1000},
+		Timeline:  "@20 fail global=0.25",
+	}
+	st, code := submit(t, ts, sub)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit family job: status %d", code)
+	}
+	fin := waitTerminal(t, ts, st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("family job finished %s (%s: %s)", fin.State, fin.ErrorKind, fin.Error)
+	}
+	report := getReport(t, ts, st.ID)
+	if !strings.Contains(string(report), "swapped") {
+		t.Errorf("report does not name the swapped topology: %s", report)
+	}
+}

@@ -57,9 +57,23 @@ type Submission struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
-// TopologySpec is the dragonfly configuration of a submission. Zero
-// values take the paper defaults (p=h=4, a=8; buf 16; latencies 1/2).
+// TopologySpec is the machine configuration of a submission. Two
+// spellings are accepted: the canonical-dragonfly shorthand (p/a/h/
+// groups, zero values taking the paper defaults p=h=4, a=8), or a
+// registry family name plus its parameter map (GET /v1/topologies
+// lists the families and schemas). The two spellings may not be mixed,
+// and both canonicalise to family+params before hashing, so a legacy
+// {"p":4,"a":8,"h":4} body and {"family":"dragonfly"} share one cache
+// entry.
 type TopologySpec struct {
+	// Family selects a registered topology family ("dragonfly",
+	// "dragonflyplus", "swapped", "aries", ...). Empty means the
+	// canonical dragonfly described by P/A/H/Groups.
+	Family string `json:"family,omitempty"`
+	// Params are the family's build parameters; omitted keys take the
+	// schema defaults. Only valid alongside Family.
+	Params map[string]int `json:"params,omitempty"`
+
 	P        int `json:"p,omitempty"`
 	A        int `json:"a,omitempty"`
 	H        int `json:"h,omitempty"`
@@ -81,9 +95,13 @@ type RunSpec struct {
 // by the engine's contract) and TimeoutMS (an execution bound, not a
 // result parameter), which ride along unhashed.
 type JobSpec struct {
-	Kind      string
-	P, A, H   int
-	Groups    int
+	Kind string
+	// Family and Params are the canonical machine description: the
+	// registry family plus its fully-defaulted parameter map (the
+	// built machine's Descriptor.Params), whichever spelling the
+	// submission used.
+	Family    string
+	Params    map[string]int
 	BufDepth  int
 	Seed      uint64
 	Algorithm string
@@ -115,25 +133,46 @@ func (sub Submission) Normalize(limits Limits) (JobSpec, error) {
 		return s, badRequest("unknown kind %q (want %q or %q)", sub.Kind, KindRun, KindSweep)
 	}
 
-	// Topology defaults mirror core.NewSystem exactly, so the hash is
-	// canonical over meaning, not spelling.
-	s.P, s.A, s.H, s.Groups = sub.Topology.P, sub.Topology.A, sub.Topology.H, sub.Topology.Groups
-	if s.P == 0 && s.A == 0 && s.H == 0 {
-		s.P, s.A, s.H = 4, 8, 4
-	}
+	// Topology: both spellings canonicalise to family + the built
+	// machine's fully-defaulted parameter map, so the hash is canonical
+	// over meaning, not spelling. Building the machine here (cheap:
+	// structural only) is also the validation.
 	s.BufDepth = sub.Topology.BufDepth
 	if s.BufDepth == 0 {
 		s.BufDepth = 16
 	}
-	if s.P < 0 || s.A < 0 || s.H < 0 || s.Groups < 0 || s.BufDepth < 0 {
-		return s, badRequest("topology parameters must be non-negative")
+	if s.BufDepth < 0 {
+		return s, badRequest("topology: buf_depth must be non-negative")
 	}
-	// Validate the topology by building it (cheap: structural only),
-	// and bound the machine size a single request can demand.
-	topo, err := topology.NewDragonfly(s.P, s.A, s.H, s.Groups)
-	if err != nil {
-		return s, badRequest("topology: %v", err)
+	var topo topology.Machine
+	if sub.Topology.Family != "" {
+		if sub.Topology.P != 0 || sub.Topology.A != 0 || sub.Topology.H != 0 || sub.Topology.Groups != 0 {
+			return s, badRequest("topology: family %q and the p/a/h/groups shorthand are mutually exclusive", sub.Topology.Family)
+		}
+		m, err := topology.Build(sub.Topology.Family, sub.Topology.Params)
+		if err != nil {
+			return s, badRequest("topology: %v", err)
+		}
+		topo = m
+	} else {
+		if len(sub.Topology.Params) > 0 {
+			return s, badRequest(`topology: "params" needs a "family"`)
+		}
+		p, a, h := sub.Topology.P, sub.Topology.A, sub.Topology.H
+		if p == 0 && a == 0 && h == 0 {
+			p, a, h = 4, 8, 4
+		}
+		if p < 0 || a < 0 || h < 0 || sub.Topology.Groups < 0 {
+			return s, badRequest("topology parameters must be non-negative")
+		}
+		d, err := topology.NewDragonfly(p, a, h, sub.Topology.Groups)
+		if err != nil {
+			return s, badRequest("topology: %v", err)
+		}
+		topo = d
 	}
+	desc := topo.Describe()
+	s.Family, s.Params = desc.Family, desc.Params
 	if max := limits.MaxNodes; max > 0 && topo.Nodes() > max {
 		return s, badRequest("topology has %d terminals, over the server's limit of %d", topo.Nodes(), max)
 	}

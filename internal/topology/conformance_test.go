@@ -1,0 +1,356 @@
+package topology
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The topology-contract conformance suite: every Machine in the
+// registry — and any Machine a fuzzed builder produces — must satisfy
+// the structural contract the simulator, the routing layer, the fault
+// planner and the shard partitioner all lean on. One suite, run
+// against every implementation, so a new topology cannot pass its own
+// unit tests while quietly violating an invariant only some other
+// layer depends on.
+
+// conformanceMachines returns one modest instance per registered
+// family, built through the registry (so the Build path itself is
+// under test), plus a fault-wrapped Degraded view of the canonical
+// dragonfly with an empty plan (which must answer every structural
+// query like the pristine machine).
+func conformanceMachines(t *testing.T) map[string]Machine {
+	t.Helper()
+	specs := map[string]map[string]int{
+		"dragonfly":     {"p": 2, "a": 4, "h": 2},
+		"dragonflyfb":   {"p": 2, "d1": 2, "d2": 2, "h": 2},
+		"dragonflyplus": {"p": 2, "leaves": 3, "spines": 2, "h": 2},
+		"swapped":       {"p": 2, "k": 4, "m": 3},
+		"aries":         {"p": 2, "blades": 3, "chassis": 2, "bundle": 2, "h": 2, "g": 4},
+	}
+	out := map[string]Machine{}
+	for fam, params := range specs {
+		m, err := Build(fam, params)
+		if err != nil {
+			t.Fatalf("Build(%s, %v): %v", fam, params, err)
+		}
+		out[fam] = m
+	}
+	d, err := NewDragonfly(2, 4, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["degraded(empty plan)"] = NewDegraded(d, emptyFaultView{})
+	return out
+}
+
+// emptyFaultView is the all-alive FaultView: wrapping with it must not
+// change any structural answer.
+type emptyFaultView struct{}
+
+func (emptyFaultView) RouterDown(int) bool  { return false }
+func (emptyFaultView) PortDown(int, int) bool { return false }
+
+func TestConformance(t *testing.T) {
+	for name, m := range conformanceMachines(t) {
+		t.Run(name, func(t *testing.T) { checkMachine(t, m) })
+	}
+}
+
+// checkMachine runs the full conformance suite against one Machine.
+// It is deliberately exhaustive rather than sampled: the machines are
+// small, and a single mis-wired port is exactly the kind of bug
+// sampling misses.
+func checkMachine(t *testing.T, m Machine) {
+	t.Helper()
+	checkPortBijectivity(t, m)
+	checkCensusMatchesDescriptor(t, m)
+	checkGroupNumbering(t, m)
+	checkLocalOracle(t, m)
+	checkGlobalOracle(t, m)
+	checkReachability(t, m)
+	if m.MinVCs() < 1 {
+		t.Errorf("MinVCs() = %d, want >= 1", m.MinVCs())
+	}
+}
+
+// checkPortBijectivity: the wiring table is an involution. Every
+// non-terminal port's peer names this port as its own peer; every
+// terminal port carries the terminal that TerminalRouter/TerminalPort
+// claim sits there; every terminal appears exactly once.
+func checkPortBijectivity(t *testing.T, m Machine) {
+	t.Helper()
+	seen := make([]int, m.Terminals())
+	for r := 0; r < m.Routers(); r++ {
+		for p := 0; p < m.Radix(r); p++ {
+			pt := m.Port(r, p)
+			if pt.Class == ClassTerminal {
+				if pt.Terminal < 0 || pt.Terminal >= m.Terminals() {
+					t.Fatalf("router %d port %d: terminal %d out of range", r, p, pt.Terminal)
+				}
+				seen[pt.Terminal]++
+				if m.TerminalRouter(pt.Terminal) != r || m.TerminalPort(pt.Terminal) != p {
+					t.Errorf("terminal %d attached at router %d port %d but TerminalRouter/Port say %d/%d",
+						pt.Terminal, r, p, m.TerminalRouter(pt.Terminal), m.TerminalPort(pt.Terminal))
+				}
+				continue
+			}
+			if pt.PeerRouter < 0 || pt.PeerRouter >= m.Routers() {
+				t.Fatalf("router %d port %d: peer router %d out of range", r, p, pt.PeerRouter)
+			}
+			back := m.Port(pt.PeerRouter, pt.PeerPort)
+			if back.PeerRouter != r || back.PeerPort != p {
+				t.Errorf("router %d port %d <-> router %d port %d is not an involution (reverse names %d/%d)",
+					r, p, pt.PeerRouter, pt.PeerPort, back.PeerRouter, back.PeerPort)
+			}
+			if back.Class != pt.Class {
+				t.Errorf("link %d/%d <-> %d/%d has class %v on one side, %v on the other",
+					r, p, pt.PeerRouter, pt.PeerPort, pt.Class, back.Class)
+			}
+			if pt.Class == ClassLocal && m.RouterGroup(pt.PeerRouter) != m.RouterGroup(r) {
+				t.Errorf("local link %d/%d crosses groups %d -> %d", r, p, m.RouterGroup(r), m.RouterGroup(pt.PeerRouter))
+			}
+			if pt.Class == ClassGlobal && m.RouterGroup(pt.PeerRouter) == m.RouterGroup(r) {
+				t.Errorf("global link %d/%d stays inside group %d", r, p, m.RouterGroup(r))
+			}
+		}
+	}
+	for term, n := range seen {
+		if n != 1 {
+			t.Errorf("terminal %d attached to %d ports, want exactly 1", term, n)
+		}
+	}
+}
+
+// checkCensusMatchesDescriptor: the analytic Descriptor (closed forms
+// over the build parameters) must agree with a census of the actual
+// wiring table. A builder bug shows up here as a descriptor mismatch
+// instead of a silent mis-wiring.
+func checkCensusMatchesDescriptor(t *testing.T, m Machine) {
+	t.Helper()
+	desc := m.Describe()
+	if desc.Routers != m.Routers() || desc.Terminals != m.Terminals() || desc.Groups != m.Groups() {
+		t.Errorf("descriptor sizes %d routers/%d terminals/%d groups, machine says %d/%d/%d",
+			desc.Routers, desc.Terminals, desc.Groups, m.Routers(), m.Terminals(), m.Groups())
+	}
+	if desc.Routers != desc.Groups*desc.RoutersPerGroup || desc.Terminals != desc.Groups*desc.TerminalsPerGroup {
+		t.Errorf("descriptor is not group-regular: %d groups x %d routers, %d groups x %d terminals vs totals %d/%d",
+			desc.Groups, desc.RoutersPerGroup, desc.Groups, desc.TerminalsPerGroup, desc.Routers, desc.Terminals)
+	}
+	term, local, global := m.CountChannels()
+	if term != desc.TerminalChannels || local != desc.LocalChannels || global != desc.GlobalChannels {
+		t.Errorf("channel census %d/%d/%d (terminal/local/global), descriptor claims %d/%d/%d",
+			term, local, global, desc.TerminalChannels, desc.LocalChannels, desc.GlobalChannels)
+	}
+	maxRadix := 0
+	for r := 0; r < m.Routers(); r++ {
+		if k := m.Radix(r); k > maxRadix {
+			maxRadix = k
+		}
+	}
+	if desc.RouterRadix != maxRadix || m.RouterRadix() != maxRadix {
+		t.Errorf("RouterRadix %d (descriptor %d), census max %d", m.RouterRadix(), desc.RouterRadix, maxRadix)
+	}
+	if desc.Family != "" {
+		rebuilt, err := Build(desc.Family, desc.Params)
+		if err != nil {
+			t.Fatalf("Build(%s, %v) from the machine's own descriptor: %v", desc.Family, desc.Params, err)
+		}
+		if rd := rebuilt.Describe(); fmt.Sprintf("%+v", descWithoutParams(rd)) != fmt.Sprintf("%+v", descWithoutParams(desc)) {
+			t.Errorf("descriptor does not round-trip through Build: %+v vs %+v", rd, desc)
+		}
+	}
+}
+
+// descWithoutParams compares descriptors ignoring the params map
+// (maps are not comparable with ==).
+func descWithoutParams(d Descriptor) Descriptor {
+	d.Params = nil
+	return d
+}
+
+// checkGroupNumbering: router and terminal numbering is group-major
+// and contiguous — the invariant the shard partitioner and the grouped
+// traffic patterns assume.
+func checkGroupNumbering(t *testing.T, m Machine) {
+	t.Helper()
+	a := m.RoutersPerGroup()
+	for r := 0; r < m.Routers(); r++ {
+		grp, idx := m.RouterGroup(r), m.RouterIndex(r)
+		if grp != r/a || idx != r%a {
+			t.Errorf("router %d: group %d index %d, want group-major %d/%d", r, grp, idx, r/a, r%a)
+		}
+		if m.GroupRouter(grp, idx) != r {
+			t.Errorf("GroupRouter(%d, %d) = %d, want %d", grp, idx, m.GroupRouter(grp, idx), r)
+		}
+	}
+	per := m.TerminalsPerGroup()
+	for term := 0; term < m.Terminals(); term++ {
+		if m.TerminalGroup(term) != term/per {
+			t.Errorf("terminal %d: group %d, want contiguous group-major %d", term, m.TerminalGroup(term), term/per)
+		}
+		if rg := m.RouterGroup(m.TerminalRouter(term)); rg != term/per {
+			t.Errorf("terminal %d sits on a router of group %d but TerminalGroup says %d", term, rg, term/per)
+		}
+	}
+}
+
+// checkLocalOracle: from every in-group router pair, following
+// LocalRoute hop by hop reaches the destination in exactly LocalHops
+// steps, over live local ports of the wiring table.
+func checkLocalOracle(t *testing.T, m Machine) {
+	t.Helper()
+	a := m.RoutersPerGroup()
+	for from := 0; from < a; from++ {
+		for to := 0; to < a; to++ {
+			if from == to {
+				if p := m.LocalRoute(from, to); p != -1 {
+					t.Errorf("LocalRoute(%d, %d) = %d, want -1 for self", from, to, p)
+				}
+				if h := m.LocalHops(from, to); h != 0 {
+					t.Errorf("LocalHops(%d, %d) = %d, want 0", from, to, h)
+				}
+				continue
+			}
+			cur, hops := from, 0
+			for cur != to {
+				port := m.LocalRoute(cur, to)
+				if port < 0 {
+					t.Fatalf("LocalRoute(%d, %d) = %d mid-walk at %d", from, to, port, cur)
+				}
+				r := m.GroupRouter(0, cur)
+				if port >= m.Radix(r) {
+					t.Fatalf("LocalRoute(%d, %d) = %d, beyond router %d's radix %d", cur, to, port, r, m.Radix(r))
+				}
+				pt := m.Port(r, port)
+				if pt.Class != ClassLocal {
+					t.Fatalf("LocalRoute(%d, %d) = %d is a %v port, want local", cur, to, port, pt.Class)
+				}
+				cur = m.RouterIndex(pt.PeerRouter)
+				if hops++; hops > a {
+					t.Fatalf("LocalRoute walk %d -> %d did not converge within %d hops", from, to, a)
+				}
+			}
+			if want := m.LocalHops(from, to); hops != want {
+				t.Errorf("walk %d -> %d took %d hops, LocalHops says %d", from, to, hops, want)
+			}
+		}
+	}
+}
+
+// checkGlobalOracle: the slot arithmetic agrees with the wiring. For
+// every ordered group pair and every parallel channel between them,
+// GlobalSlot names a slot whose router and port (SlotRouterIndex /
+// GlobalPort) carry a global link into the destination group, landing
+// exactly on GlobalEntryRouter.
+func checkGlobalOracle(t *testing.T, m Machine) {
+	t.Helper()
+	g := m.Groups()
+	for ga := 0; ga < g; ga++ {
+		for gb := 0; gb < g; gb++ {
+			if ga == gb {
+				continue
+			}
+			n := m.ChannelsBetween(ga, gb)
+			if n < 1 {
+				t.Fatalf("ChannelsBetween(%d, %d) = %d, want >= 1 (one global hop must suffice)", ga, gb, n)
+			}
+			if back := m.ChannelsBetween(gb, ga); back != n {
+				t.Errorf("ChannelsBetween asymmetric: %d->%d has %d, %d->%d has %d", ga, gb, n, gb, ga, back)
+			}
+			for c := 0; c < n; c++ {
+				slot := m.GlobalSlot(ga, gb, c)
+				r := m.GroupRouter(ga, m.SlotRouterIndex(slot))
+				port := m.GlobalPort(slot)
+				if port >= m.Radix(r) {
+					t.Fatalf("slot %d of group %d: port %d beyond router %d's radix %d", slot, ga, port, r, m.Radix(r))
+				}
+				pt := m.Port(r, port)
+				if pt.Class != ClassGlobal {
+					t.Fatalf("slot %d of group %d: router %d port %d is %v, want global", slot, ga, r, port, pt.Class)
+				}
+				if m.RouterGroup(pt.PeerRouter) != gb {
+					t.Errorf("GlobalSlot(%d, %d, %d): channel lands in group %d", ga, gb, c, m.RouterGroup(pt.PeerRouter))
+				}
+				if entry := m.GlobalEntryRouter(ga, gb, slot); entry != pt.PeerRouter {
+					t.Errorf("GlobalEntryRouter(%d, %d, slot %d) = %d, wiring says %d", ga, gb, slot, entry, pt.PeerRouter)
+				}
+			}
+		}
+	}
+}
+
+// checkReachability: the machine is connected with a finite diameter —
+// Diameter BFSes the actual wiring, so this catches isolated routers a
+// per-port check cannot.
+func checkReachability(t *testing.T, m Machine) {
+	t.Helper()
+	g, ok := graphOf(m)
+	if !ok {
+		t.Fatalf("machine %v does not expose its Graph", m)
+	}
+	diam, err := g.Diameter()
+	if err != nil {
+		t.Fatalf("Diameter: %v", err)
+	}
+	if m.Routers() > 1 && diam < 1 {
+		t.Errorf("diameter %d over %d routers, want >= 1", diam, m.Routers())
+	}
+}
+
+// graphOf digs the wiring Graph out of a Machine for the BFS check.
+func graphOf(m Machine) (*Graph, bool) {
+	switch v := m.(type) {
+	case *Dragonfly:
+		return v.Graph, true
+	case *DragonflyFB:
+		return v.Graph, true
+	case *DragonflyPlus:
+		return v.Graph, true
+	case *Swapped:
+		return v.Graph, true
+	case *Aries:
+		return v.Graph, true
+	case *Degraded:
+		g, ok := graphOf(v.Machine)
+		return g, ok
+	}
+	return nil, false
+}
+
+// FuzzSwappedBuilder drives NewSwapped over its parameter space: any
+// build that succeeds must pass the full conformance suite, and no
+// build may panic.
+func FuzzSwappedBuilder(f *testing.F) {
+	f.Add(2, 4, 0)
+	f.Add(1, 8, 8)
+	f.Add(2, 5, 3)
+	f.Add(4, 16, 12)
+	f.Fuzz(func(t *testing.T, p, k, m int) {
+		if p < 0 || k < 0 || m < 0 || p > 8 || k > 32 || m > 32 {
+			t.Skip("out of the supported envelope")
+		}
+		sw, err := NewSwapped(p, k, m)
+		if err != nil {
+			return // rejected cleanly: that's a pass
+		}
+		checkMachine(t, sw)
+	})
+}
+
+// FuzzDragonflyPlusBuilder does the same for NewDragonflyPlus.
+func FuzzDragonflyPlusBuilder(f *testing.F) {
+	f.Add(2, 4, 4, 2, 0)
+	f.Add(1, 3, 2, 2, 4)
+	f.Add(2, 2, 3, 1, 3)
+	f.Fuzz(func(t *testing.T, p, leaves, spines, h, groups int) {
+		if p < 0 || leaves < 0 || spines < 0 || h < 0 || groups < 0 ||
+			p > 8 || leaves > 12 || spines > 12 || h > 8 || groups > 24 {
+			t.Skip("out of the supported envelope")
+		}
+		dp, err := NewDragonflyPlus(p, leaves, spines, h, groups)
+		if err != nil {
+			return
+		}
+		checkMachine(t, dp)
+	})
+}

@@ -13,18 +13,18 @@ type FaultView interface {
 	PortDown(r, port int) bool
 }
 
-// Degraded is a fault-aware view over a Dragonfly: the pristine wiring
+// Degraded is a fault-aware view over any Machine: the pristine wiring
 // table plus precomputed liveness of every port, the surviving global
 // channels of every group pair, and group-level reachability over live
 // global channels. It implements the same structural interface as the
-// underlying Dragonfly (by embedding), so routing algorithms and the
+// underlying machine (by embedding), so routing algorithms and the
 // simulator can consume it in place of the pristine topology; both
 // detect the degradation through the Alive method.
 //
 // The view is immutable once built, like the Graph it wraps: one
 // Degraded corresponds to one fault scenario.
 type Degraded struct {
-	*Dragonfly
+	Machine
 
 	portDead   [][]bool // [router][port], true when either channel end is down
 	routerDown []bool
@@ -44,8 +44,8 @@ type Degraded struct {
 
 // NewDegraded builds the degraded view of d under fault plan fv. A nil
 // fv yields a fully alive view (useful for uniform call sites).
-func NewDegraded(d *Dragonfly, fv FaultView) *Degraded {
-	dg := &Degraded{Dragonfly: d}
+func NewDegraded(d Machine, fv FaultView) *Degraded {
+	dg := &Degraded{Machine: d}
 	n := d.Routers()
 	dg.routerDown = make([]bool, n)
 	dg.portDead = make([][]bool, n)
@@ -98,8 +98,8 @@ func NewDegraded(d *Dragonfly, fv FaultView) *Degraded {
 // buildLiveSlots enumerates, per ordered group pair, the global-channel
 // slots whose channel survived, in ascending slot order.
 func (dg *Degraded) buildLiveSlots() {
-	d := dg.Dragonfly
-	g := d.G
+	d := dg.Machine
+	g := d.Groups()
 	dg.liveSlots = make([][][]int, g)
 	for ga := 0; ga < g; ga++ {
 		dg.liveSlots[ga] = make([][]int, g)
@@ -124,7 +124,7 @@ func (dg *Degraded) buildLiveSlots() {
 // buildReachability runs one BFS per group over the group graph whose
 // edges are pairs with at least one live global channel.
 func (dg *Degraded) buildReachability() {
-	g := dg.G
+	g := dg.Groups()
 	dg.reach = make([][]bool, g)
 	for src := 0; src < g; src++ {
 		seen := make([]bool, g)
@@ -240,4 +240,15 @@ func (dg *Degraded) Connected() bool { return dg.connected }
 // counts once; channels of failed routers are included).
 func (dg *Degraded) FaultCounts() (routers, global, local, terminal int) {
 	return dg.deadRouters, dg.deadGlobal, dg.deadLocal, dg.deadTerm
+}
+
+// LocalRouteSeeded forwards the optional bundle-spreading capability
+// (SeededLocal) of the wrapped machine; for machines without it, it is
+// exactly LocalRoute, so the routing layer may use it unconditionally
+// on a degraded view without changing behaviour.
+func (dg *Degraded) LocalRouteSeeded(from, to int, seed uint64) int {
+	if s, ok := dg.Machine.(SeededLocal); ok {
+		return s.LocalRouteSeeded(from, to, seed)
+	}
+	return dg.LocalRoute(from, to)
 }

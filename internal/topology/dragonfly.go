@@ -305,7 +305,12 @@ func (d *Dragonfly) RoutersPerGroup() int { return d.A }
 // index from towards the router with in-group index to. The canonical
 // dragonfly group is fully connected, so the next hop is the direct
 // port.
-func (d *Dragonfly) LocalRoute(from, to int) int { return d.LocalPort(from, to) }
+func (d *Dragonfly) LocalRoute(from, to int) int {
+	if from == to {
+		return -1 // no local hop needed
+	}
+	return d.LocalPort(from, to)
+}
 
 // LocalHops returns the intra-group hop count between two routers of a
 // group: 0 or 1 in the fully connected group.
@@ -314,4 +319,31 @@ func (d *Dragonfly) LocalHops(from, to int) int {
 		return 0
 	}
 	return 1
+}
+
+// MinVCs returns the virtual channels the routing ladder needs for
+// deadlock freedom on this topology: 3 (Figure 7 — two for minimal
+// routing plus one for the non-minimal detour; the fully connected
+// group's single-hop local routes add no intra-group dependencies).
+func (d *Dragonfly) MinVCs() int { return 3 }
+
+// Describe returns the analytic structure descriptor.
+func (d *Dragonfly) Describe() Descriptor {
+	global := 0
+	if d.G > 1 {
+		global = d.G * d.A * d.H / 2
+	}
+	return Descriptor{
+		Family:            "dragonfly",
+		Params:            map[string]int{"p": d.P, "a": d.A, "h": d.H, "g": d.G},
+		Groups:            d.G,
+		RoutersPerGroup:   d.A,
+		TerminalsPerGroup: d.A * d.P,
+		Routers:           d.A * d.G,
+		Terminals:         d.Nodes(),
+		RouterRadix:       d.RouterRadix(),
+		TerminalChannels:  d.Nodes(),
+		LocalChannels:     d.G * d.A * (d.A - 1) / 2,
+		GlobalChannels:    global,
+	}
 }

@@ -250,6 +250,42 @@ func (d *DragonflyFB) PortClass(i int) Class {
 	}
 }
 
+// RoutersPerGroup returns the group size a (the product of Dims).
+func (d *DragonflyFB) RoutersPerGroup() int { return d.A }
+
+// MinVCs returns the virtual channels the routing ladder needs: 3, as
+// for the canonical dragonfly — dimension-order local routing is
+// acyclic, so the flattened-butterfly group adds no VC demand.
+func (d *DragonflyFB) MinVCs() int { return 3 }
+
+// Describe returns the analytic structure descriptor.
+func (d *DragonflyFB) Describe() Descriptor {
+	localPorts := 0
+	for _, s := range d.Dims {
+		localPorts += s - 1
+	}
+	params := map[string]int{"p": d.P, "d1": d.Dims[0], "d2": 0, "d3": 0, "h": d.H, "g": d.G}
+	if len(d.Dims) > 1 {
+		params["d2"] = d.Dims[1]
+	}
+	if len(d.Dims) > 2 {
+		params["d3"] = d.Dims[2]
+	}
+	return Descriptor{
+		Family:            "dragonflyfb",
+		Params:            params,
+		Groups:            d.G,
+		RoutersPerGroup:   d.A,
+		TerminalsPerGroup: d.A * d.P,
+		Routers:           d.A * d.G,
+		Terminals:         d.Nodes(),
+		RouterRadix:       d.RouterRadix(),
+		TerminalChannels:  d.Nodes(),
+		LocalChannels:     d.G * d.A * localPorts / 2,
+		GlobalChannels:    d.G * d.A * d.H / 2,
+	}
+}
+
 // String describes the configuration.
 func (d *DragonflyFB) String() string {
 	return fmt.Sprintf("dragonflyFB(p=%d dims=%v h=%d g=%d N=%d k=%d k'=%d)",

@@ -1,0 +1,279 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Machine is the pluggable topology contract: everything the rest of
+// the system — routing algorithms, the cycle-accurate simulator, the
+// fault planner, the shard partitioner, the cost model and the service
+// layer — needs from a concrete topology. It bundles four views:
+//
+//   - the wiring view (Routers/Radix/Port/Terminal*): the flat channel
+//     table the simulator executes and the fault planner enumerates;
+//   - the group structure (Groups/RouterGroup/...): group-major router
+//     numbering that doubles as the shard-partition hint (routers of
+//     one group must be contiguous, ascending — every builder in this
+//     package numbers router r = grp*RoutersPerGroup()+idx);
+//   - the minimal-path oracle (LocalRoute/GlobalSlot/...): the
+//     structural queries the routing algorithms compose into minimal
+//     and Valiant paths, phrased so one global hop always suffices
+//     between any two groups (an all-to-all inter-group graph, the
+//     invariant every dragonfly-family topology shares);
+//   - the policy view (MinVCs/Describe): how many virtual channels the
+//     topology's local-route structure needs for deadlock freedom, and
+//     a structure descriptor for registries, costing and conformance
+//     tests.
+//
+// *Dragonfly, *DragonflyFB, *DragonflyPlus, *Swapped and *Aries all
+// implement it; *Degraded and *Switched wrap any Machine with fault
+// awareness. The interface is defined here (not in internal/routing)
+// so the dependency arrow keeps pointing outward: routing's Topo is a
+// structural subset of Machine.
+type Machine interface {
+	// Wiring view (the embedded Graph provides these).
+	Routers() int
+	Terminals() int
+	Radix(router int) int
+	Port(router, port int) Port
+	TerminalRouter(t int) int
+	TerminalPort(t int) int
+	CountChannels() (terminal, local, global int)
+
+	// Group structure. Router numbering is group-major: the routers of
+	// group grp are exactly [grp*RoutersPerGroup(), (grp+1)*RoutersPerGroup()),
+	// and terminals are likewise contiguous per group.
+	Groups() int
+	RouterGroup(r int) int
+	RouterIndex(r int) int
+	GroupRouter(grp, idx int) int
+	RoutersPerGroup() int
+	TerminalsPerGroup() int
+	TerminalGroup(t int) int
+
+	// Minimal-path oracle. LocalRoute returns the next-hop local port
+	// from in-group index from towards to (-1 when from == to);
+	// LocalHops the intra-group distance. Global-channel slots are
+	// group-scoped ids: GlobalPort/SlotRouterIndex locate a slot on its
+	// owning router, ChannelsBetween/GlobalSlot/GlobalEntryRouter
+	// describe the inter-group wiring. Every distinct group pair has
+	// ChannelsBetween >= 1.
+	LocalRoute(from, to int) int
+	LocalHops(from, to int) int
+	GlobalPort(slot int) int
+	SlotRouterIndex(slot int) int
+	ChannelsBetween(ga, gb int) int
+	GlobalSlot(grp, dst, m int) int
+	GlobalEntryRouter(grp, dst, slot int) int
+
+	// Policy and description.
+	Nodes() int
+	RouterRadix() int
+	MinVCs() int
+	Describe() Descriptor
+	String() string
+}
+
+// SeededLocal is the optional capability of machines whose groups wire
+// parallel local links between router pairs (e.g. Aries' bundled
+// inter-chassis cables): LocalRouteSeeded is LocalRoute with a
+// deterministic per-packet spread over the bundle. The routing layer
+// detects it by type assertion; Degraded and Switched forward it, so
+// the capability survives fault wrapping. Machines without parallel
+// local links simply don't implement it.
+type SeededLocal interface {
+	LocalRouteSeeded(from, to int, seed uint64) int
+}
+
+// Descriptor is the analytic structure summary of a Machine: sizes and
+// per-class channel counts computed from the construction parameters,
+// not from the wiring table. The conformance suite cross-checks it
+// against the graph census, so a builder bug shows up as a descriptor
+// mismatch rather than a silent mis-wiring.
+type Descriptor struct {
+	// Family is the registry name the machine was (or could be) built
+	// from; Params its canonical build parameters.
+	Family string         `json:"family"`
+	Params map[string]int `json:"params"`
+
+	Groups            int `json:"groups"`
+	RoutersPerGroup   int `json:"routers_per_group"`
+	TerminalsPerGroup int `json:"terminals_per_group"`
+	Routers           int `json:"routers"`
+	Terminals         int `json:"terminals"`
+	// RouterRadix is the maximum router radix (ports incl. terminals);
+	// machines with non-uniform routers (e.g. leaf/spine) report the
+	// largest.
+	RouterRadix int `json:"router_radix"`
+
+	// Per-class bidirectional channel counts over the whole machine.
+	TerminalChannels int `json:"terminal_channels"`
+	LocalChannels    int `json:"local_channels"`
+	GlobalChannels   int `json:"global_channels"`
+}
+
+// ParamSpec describes one integer build parameter of a topology family.
+type ParamSpec struct {
+	// Name is the parameter key accepted by Family.Build.
+	Name string `json:"name"`
+	// Doc is a one-line description.
+	Doc string `json:"doc"`
+	// Default is the value used when the key is omitted.
+	Default int `json:"default"`
+}
+
+// Family is a registered topology family: a named builder plus its
+// parameter schema, the unit the CLI flags and the service's
+// /v1/topologies endpoint expose.
+type Family struct {
+	// Name is the registry key ("dragonfly", "swapped", ...).
+	Name string
+	// Doc is a one-line description of the family.
+	Doc string
+	// Params is the parameter schema, in canonical order.
+	Params []ParamSpec
+	// Build constructs a machine from a complete parameter map (every
+	// key of Params present; Families' Build wrapper applies defaults).
+	Build func(params map[string]int) (Machine, error)
+}
+
+// families is the registry, in presentation order: the canonical
+// topology first, then the variants.
+var families = []Family{
+	{
+		Name: "dragonfly",
+		Doc:  "canonical dragonfly (ISCA 2008): fully connected groups of a routers, h global channels each",
+		Params: []ParamSpec{
+			{Name: "p", Doc: "terminals per router", Default: 4},
+			{Name: "a", Doc: "routers per group", Default: 8},
+			{Name: "h", Doc: "global channels per router", Default: 4},
+			{Name: "g", Doc: "groups (0 = maximal a*h+1)", Default: 0},
+		},
+		Build: func(ps map[string]int) (Machine, error) {
+			return NewDragonfly(ps["p"], ps["a"], ps["h"], ps["g"])
+		},
+	},
+	{
+		Name: "dragonflyfb",
+		Doc:  "dragonfly variant of Figure 6(b): flattened-butterfly groups (d1 x d2 x d3 routers)",
+		Params: []ParamSpec{
+			{Name: "p", Doc: "terminals per router", Default: 4},
+			{Name: "d1", Doc: "group dimension 1 size", Default: 2},
+			{Name: "d2", Doc: "group dimension 2 size (0 = one-dimensional group)", Default: 4},
+			{Name: "d3", Doc: "group dimension 3 size (0 = unused)", Default: 0},
+			{Name: "h", Doc: "global channels per router", Default: 4},
+			{Name: "g", Doc: "groups (0 = maximal a*h+1)", Default: 0},
+		},
+		Build: func(ps map[string]int) (Machine, error) {
+			dims := []int{ps["d1"]}
+			for _, k := range []string{"d2", "d3"} {
+				if ps[k] > 0 {
+					dims = append(dims, ps[k])
+				}
+			}
+			return NewDragonflyFB(ps["p"], dims, ps["h"], ps["g"])
+		},
+	},
+	{
+		Name: "dragonflyplus",
+		Doc:  "Dragonfly+ (leaf/spine groups): bipartite leaves with terminals, spines with global channels",
+		Params: []ParamSpec{
+			{Name: "p", Doc: "terminals per leaf router", Default: 4},
+			{Name: "leaves", Doc: "leaf routers per group", Default: 4},
+			{Name: "spines", Doc: "spine routers per group", Default: 4},
+			{Name: "h", Doc: "global channels per spine", Default: 4},
+			{Name: "g", Doc: "groups (0 = maximal spines*h+1)", Default: 0},
+		},
+		Build: func(ps map[string]int) (Machine, error) {
+			return NewDragonflyPlus(ps["p"], ps["leaves"], ps["spines"], ps["h"], ps["g"])
+		},
+	},
+	{
+		Name: "swapped",
+		Doc:  "swapped dragonfly D3(K,M) (arXiv 2202.01843): OTIS wiring, router (g,i) linked to (i,g)",
+		Params: []ParamSpec{
+			{Name: "p", Doc: "terminals per router", Default: 4},
+			{Name: "k", Doc: "routers per group", Default: 8},
+			{Name: "m", Doc: "groups, at most k (0 = k)", Default: 0},
+		},
+		Build: func(ps map[string]int) (Machine, error) {
+			return NewSwapped(ps["p"], ps["k"], ps["m"])
+		},
+	},
+	{
+		Name: "aries",
+		Doc:  "Aries-style cascade machine: chassis x blade groups, bundled inter-chassis and global links",
+		Params: []ParamSpec{
+			{Name: "p", Doc: "terminals per router", Default: 4},
+			{Name: "blades", Doc: "blades (routers) per chassis", Default: 16},
+			{Name: "chassis", Doc: "chassis per group", Default: 6},
+			{Name: "bundle", Doc: "parallel links per inter-chassis pair", Default: 3},
+			{Name: "h", Doc: "global channels per router", Default: 10},
+			{Name: "g", Doc: "groups", Default: 8},
+		},
+		Build: func(ps map[string]int) (Machine, error) {
+			return NewAries(ps["p"], ps["blades"], ps["chassis"], ps["bundle"], ps["h"], ps["g"])
+		},
+	},
+}
+
+// Families returns the registered topology families in presentation
+// order. The slice is a copy; the Family values share the registry's
+// immutable schema slices.
+func Families() []Family {
+	out := make([]Family, len(families))
+	copy(out, families)
+	return out
+}
+
+// FamilyNames returns the registered family names in order.
+func FamilyNames() []string {
+	names := make([]string, len(families))
+	for i, f := range families {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// FamilyByName looks up a registered family.
+func FamilyByName(name string) (Family, bool) {
+	for _, f := range families {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Family{}, false
+}
+
+// Build constructs a machine of the named family from a (possibly
+// partial) parameter map: omitted keys take the schema defaults,
+// unknown keys are rejected with the valid set in the error. A nil map
+// builds the family's default configuration.
+func Build(family string, params map[string]int) (Machine, error) {
+	f, ok := FamilyByName(family)
+	if !ok {
+		return nil, fmt.Errorf("topology: unknown family %q (supported: %v)", family, FamilyNames())
+	}
+	full := make(map[string]int, len(f.Params))
+	for _, p := range f.Params {
+		full[p.Name] = p.Default
+	}
+	var unknown []string
+	for k, v := range params {
+		if _, ok := full[k]; !ok {
+			unknown = append(unknown, k)
+			continue
+		}
+		full[k] = v
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		valid := make([]string, len(f.Params))
+		for i, p := range f.Params {
+			valid[i] = p.Name
+		}
+		return nil, fmt.Errorf("topology: family %q: unknown parameter(s) %v (valid: %v)", family, unknown, valid)
+	}
+	return f.Build(full)
+}

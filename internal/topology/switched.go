@@ -1,7 +1,7 @@
 package topology
 
 // Switched is a mutable holder of the current fault epoch over one
-// Dragonfly: it exposes the same fault-aware interface as Degraded but
+// Machine: it exposes the same fault-aware interface as Degraded but
 // delegates every liveness query to a swappable current view. One
 // Switched belongs to one simulation — the routing algorithm and the
 // simulator built over it both observe an epoch change the instant
@@ -13,21 +13,21 @@ package topology
 // per-simulation state. Swapping is not synchronised — the simulator
 // swaps between cycles, never mid-query.
 type Switched struct {
-	*Dragonfly
+	Machine
 	cur *Degraded
 }
 
 // NewSwitched returns a switchable view of d starting at the fully
 // alive epoch.
-func NewSwitched(d *Dragonfly) *Switched {
-	return &Switched{Dragonfly: d, cur: NewDegraded(d, nil)}
+func NewSwitched(d Machine) *Switched {
+	return &Switched{Machine: d, cur: NewDegraded(d, nil)}
 }
 
 // SetEpoch swaps the current view. The view must wrap the same
-// Dragonfly this Switched was built over.
+// machine this Switched was built over.
 func (s *Switched) SetEpoch(v *Degraded) {
-	if v.Dragonfly != s.Dragonfly {
-		panic("topology: SetEpoch with a view of a different dragonfly")
+	if v.Machine != s.Machine {
+		panic("topology: SetEpoch with a view of a different machine")
 	}
 	s.cur = v
 }
@@ -69,4 +69,13 @@ func (s *Switched) Connected() bool { return s.cur.Connected() }
 // channel counts by class.
 func (s *Switched) FaultCounts() (routers, global, local, terminal int) {
 	return s.cur.FaultCounts()
+}
+
+// LocalRouteSeeded forwards the optional bundle-spreading capability of
+// the wrapped machine (see Degraded.LocalRouteSeeded).
+func (s *Switched) LocalRouteSeeded(from, to int, seed uint64) int {
+	if sl, ok := s.Machine.(SeededLocal); ok {
+		return sl.LocalRouteSeeded(from, to, seed)
+	}
+	return s.LocalRoute(from, to)
 }

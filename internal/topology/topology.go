@@ -105,8 +105,22 @@ func (g *Graph) TerminalRouter(t int) int { return g.termRouter[t] }
 func (g *Graph) TerminalPort(t int) int { return g.termPort[t] }
 
 // AddTerminal attaches terminal t to router r, appending a terminal port,
-// and returns the new port's index.
+// and returns the new port's index. Out-of-range indices and double
+// attachment are builder bugs; AddTerminal panics with the offending
+// terminal, router and port so a new topology's construction error is
+// diagnosable at the call site.
 func (g *Graph) AddTerminal(t, r int) int {
+	if t < 0 || t >= len(g.termRouter) {
+		panic(fmt.Sprintf("topology: AddTerminal(t=%d, r=%d): terminal %d out of range [0,%d)", t, r, t, len(g.termRouter)))
+	}
+	if r < 0 || r >= len(g.ports) {
+		panic(fmt.Sprintf("topology: AddTerminal(t=%d, r=%d): router %d out of range [0,%d)", t, r, r, len(g.ports)))
+	}
+	if p := g.ports[g.termRouter[t]]; g.termPort[t] < len(p) &&
+		p[g.termPort[t]].Class == ClassTerminal && p[g.termPort[t]].Terminal == t {
+		panic(fmt.Sprintf("topology: AddTerminal(t=%d, r=%d): terminal %d already attached at router %d port %d",
+			t, r, t, g.termRouter[t], g.termPort[t]))
+	}
 	i := len(g.ports[r])
 	g.ports[r] = append(g.ports[r], Port{Class: ClassTerminal, PeerRouter: -1, PeerPort: -1, Terminal: t})
 	g.termRouter[t] = r
@@ -116,8 +130,26 @@ func (g *Graph) AddTerminal(t, r int) int {
 
 // AddLink connects routers a and b with a bidirectional channel of the
 // given class, appending one port on each side, and returns the two new
-// port indices.
+// port indices. Out-of-range routers and a terminal class are builder
+// bugs; AddLink panics naming both endpoints (router and would-be port
+// on each side) so a mis-wired topology builder fails loudly at the
+// offending link, not later in Validate.
 func (g *Graph) AddLink(a, b int, class Class) (portA, portB int) {
+	if a < 0 || a >= len(g.ports) || b < 0 || b >= len(g.ports) {
+		aPort, bPort := -1, -1
+		if a >= 0 && a < len(g.ports) {
+			aPort = len(g.ports[a])
+		}
+		if b >= 0 && b < len(g.ports) {
+			bPort = len(g.ports[b])
+		}
+		panic(fmt.Sprintf("topology: AddLink(a=%d, b=%d, %v): router out of range [0,%d) (endpoints: router %d port %d <-> router %d port %d)",
+			a, b, class, len(g.ports), a, aPort, b, bPort))
+	}
+	if class == ClassTerminal {
+		panic(fmt.Sprintf("topology: AddLink(a=%d, b=%d, %v): terminal channels are added with AddTerminal (endpoints: router %d port %d <-> router %d port %d)",
+			a, b, class, a, len(g.ports[a]), b, len(g.ports[b])))
+	}
 	portA = len(g.ports[a])
 	portB = len(g.ports[b])
 	if a == b {
