@@ -15,14 +15,24 @@
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/events live SSE feed (state, window, point events)
 //	GET    /v1/jobs/{id}/report the finished job's JSON report
-//	GET    /v1/stats            queue/cache/worker counters
-//	GET    /healthz             200 serving, 503 draining
+//	GET    /v1/stats            queue/cache/worker/durability counters
+//	GET    /healthz             liveness: always 200 while the process serves
+//	GET    /readyz              readiness: 200 serving, 503 draining
 //
 // The queue is bounded: a full queue answers 429 with Retry-After
 // rather than buffering without limit. Each job runs under a timeout
 // (-job-timeout, shortened per job by "timeout_ms") and panic
 // isolation — a crashing job reports a structured failure and the
 // server keeps serving.
+//
+// With -data-dir the server is durable: every accepted job is written
+// to a write-ahead journal before the client is acknowledged, results
+// are persisted as content-addressed files, and long runs checkpoint
+// the engine every -checkpoint-every cycles. After a crash, restarting
+// on the same directory replays the journal, restores finished jobs
+// (and the result cache) byte-for-byte, and re-enqueues interrupted
+// jobs — resuming from their last checkpoint where one exists. Corrupt
+// journal entries are quarantined with a warning, never fatal.
 //
 // On SIGINT/SIGTERM the server drains: new submissions get 503, jobs
 // already accepted have -drain-timeout to finish, stragglers past the
@@ -35,6 +45,7 @@
 //
 //	dfly-serve -addr :8080
 //	dfly-serve -addr :8080 -workers 4 -queue 128 -job-timeout 5m -max-nodes 10000
+//	dfly-serve -addr :8080 -data-dir /var/lib/dfly
 package main
 
 import (
@@ -66,11 +77,13 @@ func main() {
 		maxNodes   = flag.Int("max-nodes", 0, "largest topology (in terminals) a job may request (0 = unlimited)")
 		maxPoints  = flag.Int("max-sweep-points", 0, "largest sweep load list a job may request (0 = unlimited)")
 		maxCycles  = flag.Int64("max-cycles", 0, "largest warmup+measure+drain a job may request (0 = unlimited)")
+		dataDir    = flag.String("data-dir", "", "directory for the durable journal, results and checkpoints (empty = in-memory only)")
+		ckptEvery  = flag.Int64("checkpoint-every", 0, "cycles between engine checkpoints of durable run jobs (0 = default 5000)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "dfly-serve: ", log.LstdFlags)
-	srv := serve.New(serve.Config{
+	srv, err := serve.Open(serve.Config{
 		QueueDepth: *queue,
 		Workers:    *workers,
 		JobTimeout: *jobTimeout,
@@ -82,7 +95,13 @@ func main() {
 			MaxSweepPoints: *maxPoints,
 			MaxCycles:      *maxCycles,
 		},
+		DataDir:         *dataDir,
+		CheckpointEvery: *ckptEvery,
+		Logf:            logger.Printf,
 	})
+	if err != nil {
+		logger.Fatalf("open: %v", err)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
 	// Serve until a signal arrives, then drain: stop accepting

@@ -19,6 +19,15 @@
 // (-trace-buf bounds the ring, -trace-seed picks the sample). The
 // series and trace flags need -json and a single run, not -sweep.
 //
+// Checkpointing: -checkpoint FILE writes a resumable dfly-snap/1
+// snapshot of the complete run state (engine and measurement
+// accumulators) to FILE every -checkpoint-every cycles, atomically
+// replacing the previous one; -resume FILE restarts a killed run from
+// such a file and finishes bit-identical to a run that was never
+// interrupted, even at a different -shards value. Both apply to a
+// single run (not -sweep) and exclude -window/-trace, whose collector
+// state is not part of a snapshot.
+//
 // Exit codes: 0 on success, 1 on bad flags or configuration — or when
 // the -json report cannot be encoded and written (a closed stdout pipe
 // included: SIGPIPE is ignored so the write error surfaces, with
@@ -38,6 +47,8 @@
 //	dfly-sim -alg UGAL-L -fail-global 0.1 -fail-seed 7 -sweep 0.1:0.9:0.1
 //	dfly-sim -alg UGAL-L -fault-timeline "@2000 fail global=0.25; @8000 recover all"
 //	dfly-sim -alg UGAL-L -load 0.4 -json -window 250 -trace 64 > run.json
+//	dfly-sim -alg UGAL-L -load 0.4 -checkpoint run.snap -checkpoint-every 5000
+//	dfly-sim -alg UGAL-L -load 0.4 -resume run.snap
 package main
 
 import (
@@ -48,6 +59,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -93,6 +105,10 @@ func main() {
 		sweep   = flag.String("sweep", "", "run a load sweep from:to:step (e.g. 0.1:0.9:0.1) instead of a single load")
 		jobs    = flag.Int("jobs", 0, "concurrent simulations for -sweep (0 = GOMAXPROCS)")
 		shards  = flag.Int("shards", 0, "engine shards per simulation, clamped to the group count; results are bit-identical for every value (0 = serial)")
+
+		checkpoint      = flag.String("checkpoint", "", "write a resumable checkpoint to this file every -checkpoint-every cycles (atomically replaced; single runs only)")
+		checkpointEvery = flag.Int64("checkpoint-every", 5000, "cycles between -checkpoint snapshots")
+		resume          = flag.String("resume", "", "resume a killed run from a -checkpoint file instead of starting at cycle 0")
 
 		jsonOut   = flag.Bool("json", false, "emit one versioned JSON report instead of text output")
 		window    = flag.Int64("window", 0, "with -json: collect a windowed time series, W cycles per window")
@@ -162,6 +178,15 @@ func main() {
 	}
 	if *window < 0 || *trace < 0 || *traceBuf < 0 {
 		fatal(fmt.Errorf("-window/-trace/-trace-buf want non-negative values"))
+	}
+	if (*checkpoint != "" || *resume != "") && *sweep != "" {
+		fatal(fmt.Errorf("-checkpoint/-resume apply to a single run, not -sweep"))
+	}
+	if (*checkpoint != "" || *resume != "") && (*window != 0 || *trace != 0) {
+		fatal(fmt.Errorf("-checkpoint/-resume cannot be combined with -window/-trace (collector state is not part of a snapshot)"))
+	}
+	if *checkpoint != "" && *checkpointEvery <= 0 {
+		fatal(fmt.Errorf("-checkpoint-every %d: want a positive cycle interval", *checkpointEvery))
 	}
 
 	alg, err := core.ParseAlgorithm(*algName)
@@ -238,6 +263,18 @@ func main() {
 	if *trace > 0 {
 		tr = obs.NewTracer(*trace, *traceSeed, *traceBuf)
 		opts = append(opts, core.WithTrace(tr))
+	}
+	if *checkpoint != "" {
+		opts = append(opts, core.WithCheckpoint(*checkpointEvery, func(snap []byte) error {
+			return writeFileAtomic(*checkpoint, snap)
+		}))
+	}
+	if *resume != "" {
+		snap, err := os.ReadFile(*resume)
+		if err != nil {
+			fatal(fmt.Errorf("-resume: %w", err))
+		}
+		opts = append(opts, core.WithResume(snap))
 	}
 
 	if !*jsonOut {
@@ -523,6 +560,35 @@ func writeReport(rep *obs.Report, w io.Writer) error {
 
 // fatal reports a configuration-level failure (bad flags, bad
 // topology/run parameters) and exits with the bad-config status.
+// writeFileAtomic replaces path with data via a temp file in the same
+// directory, fsync'd before the rename, so a -checkpoint file is always
+// a complete snapshot from some cycle — never a torn write — even if
+// the process dies mid-checkpoint.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dfly-sim:", err)
 	os.Exit(exitBadConfig)

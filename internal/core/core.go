@@ -368,7 +368,18 @@ func (s *System) runWith(alg Algorithm, pattern Pattern, load float64, rc sim.Ru
 		net.AttachMetrics(sink)
 	}
 	rc.Load = load
-	res, err := sim.RunCtx(o.context(), net, rc)
+	rc.CheckpointEvery = o.checkpointEvery
+	rc.CheckpointSink = o.checkpointSink
+	var res sim.Result
+	if o.resume != nil {
+		// The network is complete here — shards set, timeline applied —
+		// so the snapshot's fingerprint is checked against the real
+		// machine, and a cross-shard resume restores into the right
+		// partition.
+		res, err = sim.ResumeCtx(o.context(), net, rc, o.resume)
+	} else {
+		res, err = sim.RunCtx(o.context(), net, rc)
+	}
 	if err == nil && sink != nil {
 		// Close trailing partial state (obs.Windows' final short window)
 		// now that the run's cycle count is final.
@@ -414,6 +425,11 @@ func (s *System) SweepPool(pool *parallel.Pool, alg Algorithm, pattern Pattern, 
 		pool = parallel.Default()
 	}
 	o := applyOptions(opts)
+	if o.checkpointEvery > 0 || o.checkpointSink != nil || o.resume != nil {
+		// A sweep is many runs; one snapshot stream would interleave
+		// them, and a single checkpoint identifies only one load point.
+		return nil, fmt.Errorf("core: WithCheckpoint/WithResume apply to single runs, not sweeps")
+	}
 	results := make([]sim.Result, len(loads))
 	errs := make([]error, len(loads))
 	var out []SweepPoint

@@ -15,7 +15,7 @@ type cache struct {
 	lru  *list.List // front = most recent; values are *cacheEntry
 	byID map[string]*list.Element
 
-	hits, misses int64
+	hits, misses, evictions int64
 }
 
 type cacheEntry struct {
@@ -59,12 +59,14 @@ func (c *cache) put(hash string, report []byte) {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
 		delete(c.byID, oldest.Value.(*cacheEntry).hash)
+		c.evictions++
 	}
 }
 
-// counters returns (entries, hits, misses) for the stats endpoint.
-func (c *cache) counters() (int, int64, int64) {
+// counters returns (entries, hits, misses, evictions) for the stats
+// endpoint.
+func (c *cache) counters() (int, int64, int64, int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.lru.Len(), c.hits, c.misses
+	return c.lru.Len(), c.hits, c.misses, c.evictions
 }

@@ -53,6 +53,7 @@ func (s *Server) runJob(job *Job) {
 	if !job.begin(cancel) {
 		return // canceled while queued; already terminal and accounted
 	}
+	s.journalRunning(job)
 
 	report, panicked, err := s.executeIsolated(ctx, job)
 	switch {
@@ -73,6 +74,11 @@ func (s *Server) runJob(job *Job) {
 				fmt.Sprintf("job exceeded its %v timeout: %v", timeout, err), cycle, inFlight)
 		case errors.Is(err, context.Canceled):
 			job.finishCanceled(err.Error(), cycle, inFlight)
+		case errors.Is(err, sim.ErrBadSnapshot) && job.dropResume():
+			// The recovery checkpoint was unusable (corrupt body, or a
+			// machine drift the fingerprint caught). Transient by
+			// definition: the job itself is fine — retry from scratch.
+			s.retryJob(job, fmt.Sprintf("recovery checkpoint unusable (%v)", err))
 		default:
 			job.finishFailed("error", err.Error(), cycle, inFlight)
 		}
@@ -146,6 +152,25 @@ func (s *Server) execute(ctx context.Context, job *Job) ([]byte, error) {
 	switch spec.Kind {
 	case KindRun:
 		opts := []core.RunOption{core.WithContext(ctx)}
+		if s.store != nil && spec.Window == 0 {
+			// Durable server: checkpoint the engine periodically so a
+			// crash resumes this job instead of restarting it. Windowed
+			// runs are excluded — the live collector is not part of a
+			// snapshot — and recover from scratch instead.
+			id, hash := job.ID, job.Hash
+			opts = append(opts, core.WithCheckpoint(s.cfg.CheckpointEvery, func(snap []byte) error {
+				if err := s.store.writeCheckpoint(id, hash, snap); err != nil && !errors.Is(err, errStoreClosed) {
+					s.cfg.Logf("serve: job %s: write checkpoint: %v", id, err)
+				}
+				// Checkpointing is best-effort acceleration: a failed write
+				// must not fail the run, it only means recovery starts
+				// further back.
+				return nil
+			}))
+		}
+		if snap := job.resumeSnapshot(); snap != nil {
+			opts = append(opts, core.WithResume(snap))
+		}
 		var win *liveWindows
 		if spec.Window > 0 {
 			probe, err := sys.NewNetwork(alg, pat)

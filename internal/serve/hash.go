@@ -12,6 +12,16 @@ import (
 // the canonical encoding below changes meaning — a version bump
 // invalidates every cached result, which is exactly right when the
 // encoding (and therefore the equality relation) moves.
+//
+// The durable formats follow the same compatibility policy, each behind
+// its own magic: engine snapshots ("dfly-snap/1", internal/sim),
+// checkpoint framing ("dfly-ckpt/1", store.go) and the journal record
+// version (journalVersion). Any encoding change bumps the corresponding
+// version, and an old artifact is then *refused* with a typed error —
+// snapshots and checkpoints are simply recomputed (a refused checkpoint
+// re-runs the job from scratch), and mismatched journal lines are
+// quarantined on replay. Nothing ever attempts to read an
+// other-versioned encoding.
 const jobHashVersion = "dfly-job/2"
 
 // Hash returns the canonical job digest: a hex SHA-256 over a

@@ -95,6 +95,11 @@ type Job struct {
 	started   time.Time
 	finished  time.Time
 
+	// resume is the engine checkpoint a recovered job restarts from
+	// (nil: from scratch); attempt counts transient-failure retries.
+	resume  []byte
+	attempt int
+
 	// onTerminal is the server's drain-accounting hook, invoked exactly
 	// once, on the transition into a terminal state.
 	onTerminal func()
@@ -193,6 +198,49 @@ func (j *Job) Cancel(reason string) bool {
 		}
 		return true
 	}
+}
+
+// requeue returns a running job to queued for a retry. False when the
+// job went terminal meanwhile or a client cancellation is pending — in
+// either case it must not be resurrected.
+func (j *Job) requeue() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning || j.cancelReq {
+		return false
+	}
+	j.state = StateQueued
+	j.cancel = nil
+	j.publishLocked(Event{Type: "state", Data: j.statusLocked()})
+	return true
+}
+
+// resumeSnapshot returns the checkpoint a recovered job should restart
+// from, if any.
+func (j *Job) resumeSnapshot() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resume
+}
+
+// dropResume clears the recovery checkpoint, reporting whether there
+// was one — the caller retries from scratch exactly once per snapshot.
+func (j *Job) dropResume() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.resume == nil {
+		return false
+	}
+	j.resume = nil
+	return true
+}
+
+// bumpAttempt increments and returns the retry counter.
+func (j *Job) bumpAttempt() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.attempt++
+	return j.attempt
 }
 
 // finishDone records the report and completes the job.

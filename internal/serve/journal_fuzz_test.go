@@ -1,0 +1,58 @@
+package serve
+
+// FuzzJournalDecode drives the two durable-input parsers — journal
+// records (decodeRecord) and checkpoint framing (parseCheckpoint) —
+// with arbitrary bytes. The contract under fuzz: never panic, never
+// allocate proportionally to a hostile length prefix (line-JSON and the
+// framed header have none, but the decoder must still bound itself),
+// and reject every malformed input with an error wrapping
+// ErrCorruptRecord so replay can quarantine it.
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+func FuzzJournalDecode(f *testing.F) {
+	// Well-formed records of each type, as the journal writes them.
+	seed := func(r record) {
+		b, err := json.Marshal(r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	spec := JobSpec{Kind: KindRun, Family: "dragonfly", Algorithm: "MIN", Pattern: "UR",
+		Seed: 1, Loads: []float64{0.1}, Warmup: 50, Measure: 50, Drain: 1000}
+	seed(record{V: journalVersion, Type: recAccepted, ID: "j000001", TS: 1700000000000, Spec: &spec, Hash: "abc"})
+	seed(record{V: journalVersion, Type: recState, ID: "j000001", State: StateRunning})
+	seed(record{V: journalVersion, Type: recState, ID: "j000001", State: StateDone, Cached: true})
+	seed(record{V: journalVersion, Type: recState, ID: "j000001", State: StateFailed, ErrKind: "timeout", Err: "x"})
+	seed(record{V: journalVersion, Type: recRetry, ID: "j000001", Attempt: 2})
+
+	// Malformed shapes replay must survive: wrong version, unknown type,
+	// trailing garbage, truncations, raw garbage, and checkpoint framing
+	// with and without its magic.
+	f.Add([]byte(`{"v":99,"type":"state","id":"j1","state":"done"}`))
+	f.Add([]byte(`{"v":1,"type":"nonsense","id":"j1"}`))
+	f.Add([]byte(`{"v":1,"type":"state","id":"j1","state":"done"}{"v":1}`))
+	f.Add([]byte(`{"v":1,"type":"accepted","id":"j00`))
+	f.Add([]byte("\x00\xff\xfe garbage"))
+	f.Add([]byte(ckptMagic + `{"id":"j000001","hash":"abc"}` + "\n" + "snapshotbytes"))
+	f.Add([]byte(ckptMagic + `{"id":"j000001"`))
+	f.Add([]byte("dfly-ckpt/9\nx"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if rec, err := decodeRecord(data); err != nil {
+			if !errors.Is(err, ErrCorruptRecord) {
+				t.Fatalf("decodeRecord error does not wrap ErrCorruptRecord: %v", err)
+			}
+		} else if rec.Type != recAccepted && rec.Type != recState && rec.Type != recRetry {
+			t.Fatalf("decodeRecord accepted unknown type %q", rec.Type)
+		}
+		if _, _, _, err := parseCheckpoint(data); err != nil && !errors.Is(err, ErrCorruptRecord) {
+			t.Fatalf("parseCheckpoint error does not wrap ErrCorruptRecord: %v", err)
+		}
+	})
+}

@@ -1,0 +1,217 @@
+package serve
+
+// Crash-recovery tests: a durable server is killed mid-flight
+// (crashForTest — the store detaches first, exactly the view a SIGKILL
+// leaves on disk), the data directory is additionally vandalized the
+// way real crashes vandalize it (torn temp files, a corrupt journal
+// line, a torn final line), and a fresh server on the same directory
+// must recover every accepted job with zero losses and bit-identical
+// results.
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// longSubmission is a run big enough to be caught mid-flight: the tiny
+// 2/4/2 machine with a long warmup so checkpoints appear well before
+// the finish line.
+func longSubmission() Submission {
+	return Submission{
+		Kind:      KindRun,
+		Topology:  TopologySpec{P: 2, A: 4, H: 2},
+		Algorithm: "MIN",
+		Pattern:   "UR",
+		Seed:      7,
+		Load:      0.2,
+		Run:       RunSpec{Warmup: 20000, Measure: 2000, Drain: 5000},
+	}
+}
+
+// durableServer opens a Server on dir and fronts it with httptest. No
+// cleanup is registered: crash tests tear down by hand (crashForTest or
+// Shutdown) at the point in the scenario where the "process" dies.
+func durableServer(t *testing.T, dir string, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.DataDir = dir
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	srv, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return srv, httptest.NewServer(srv)
+}
+
+// waitForCheckpoint polls until checkpoints/<id>.snap exists — the
+// engine has durably passed at least one cycle-batch boundary.
+func waitForCheckpoint(t *testing.T, dir, id string) {
+	t.Helper()
+	path := filepath.Join(dir, "checkpoints", id+".snap")
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := os.Stat(path); err == nil {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never wrote a checkpoint", id)
+}
+
+// referenceReport runs sub on a fresh in-memory server and returns the
+// report bytes — the uninterrupted ground truth a recovered run must
+// reproduce exactly.
+func referenceReport(t *testing.T, sub Submission) []byte {
+	t.Helper()
+	_, ts := testServer(t, Config{Workers: 1, QueueDepth: 4})
+	st, code := submit(t, ts, sub)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("reference submit: status %d", code)
+	}
+	if fin := waitTerminal(t, ts, st.ID); fin.State != StateDone {
+		t.Fatalf("reference run ended %q (%s)", fin.State, fin.Error)
+	}
+	return getReport(t, ts, st.ID)
+}
+
+// TestCrashRecovery is the headline durability scenario: finished and
+// in-flight jobs survive a kill plus on-disk damage, recover without
+// loss, and the resumed run is bit-identical to an uninterrupted one.
+func TestCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := durableServer(t, dir, Config{Workers: 2, QueueDepth: 16, CheckpointEvery: 500})
+
+	// A quick job runs to completion — its result must survive verbatim.
+	quick, code := submit(t, ts, tinySubmission())
+	if code != http.StatusAccepted {
+		t.Fatalf("quick submit: status %d", code)
+	}
+	if fin := waitTerminal(t, ts, quick.ID); fin.State != StateDone {
+		t.Fatalf("quick job ended %q (%s)", fin.State, fin.Error)
+	}
+	quickReport := getReport(t, ts, quick.ID)
+
+	// A long job gets caught mid-run, after at least one checkpoint.
+	long, code := submit(t, ts, longSubmission())
+	if code != http.StatusAccepted {
+		t.Fatalf("long submit: status %d", code)
+	}
+	waitForCheckpoint(t, dir, long.ID)
+
+	srv.crashForTest()
+	ts.Close()
+
+	// Vandalize the data dir the way real crashes do: a torn checkpoint
+	// temp file, a corrupt (but complete) journal line, and a torn final
+	// line from a write cut off mid-record.
+	if err := os.WriteFile(filepath.Join(dir, "checkpoints", "junk.snap.tmp123"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jf, err := os.OpenFile(filepath.Join(dir, "journal.log"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jf.WriteString("{\"v\":1,\"type\":\"nonsense\",\"id\":\"jx\"}\n{\"v\":1,\"type\":\"state\",\"id\":\"j00"); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+
+	// Restart on the same directory.
+	srv2, ts2 := durableServer(t, dir, Config{Workers: 2, QueueDepth: 16, CheckpointEvery: 500})
+	defer ts2.Close()
+	defer srv2.crashForTest()
+
+	// The finished job is back, done, with the exact same bytes, without
+	// re-running (its submission timestamp was restored from the journal).
+	if st := getStatus(t, ts2, quick.ID); st.State != StateDone {
+		t.Fatalf("recovered quick job state %q, want done", st.State)
+	} else if st.SubmittedAt != quick.SubmittedAt {
+		t.Errorf("recovered quick job submitted_unix_ms %d, want %d (journal timestamp)", st.SubmittedAt, quick.SubmittedAt)
+	}
+	if got := getReport(t, ts2, quick.ID); !bytes.Equal(got, quickReport) {
+		t.Error("recovered quick job report differs from the original bytes")
+	}
+
+	// The interrupted job finishes from its checkpoint, bit-identical to
+	// an uninterrupted run of the same spec.
+	if fin := waitTerminal(t, ts2, long.ID); fin.State != StateDone {
+		t.Fatalf("recovered long job ended %q (%s)", fin.State, fin.Error)
+	}
+	if got, want := getReport(t, ts2, long.ID), referenceReport(t, longSubmission()); !bytes.Equal(got, want) {
+		t.Error("resumed run is not bit-identical to an uninterrupted run")
+	}
+
+	// The result cache was warmed from disk: resubmitting the quick spec
+	// answers 200 from cache, byte-identical.
+	rerun, code := submit(t, ts2, tinySubmission())
+	if code != http.StatusOK || !rerun.Cached {
+		t.Errorf("resubmit after recovery: status %d cached=%v, want 200 cached", code, rerun.Cached)
+	}
+
+	// Damage accounting: exactly the planted line quarantined, the torn
+	// tail dropped, the temp debris swept.
+	st := srv2.stats()
+	if !st.Durable || st.JournalReplays == 0 || st.JobsRecovered == 0 {
+		t.Errorf("stats after recovery: durable=%v replayed=%d recovered=%d", st.Durable, st.JournalReplays, st.JobsRecovered)
+	}
+	if st.RecordsQuarantined != 1 {
+		t.Errorf("records_quarantined = %d, want 1", st.RecordsQuarantined)
+	}
+	if q, err := os.ReadFile(filepath.Join(dir, "journal.quarantine")); err != nil || !bytes.Contains(q, []byte("nonsense")) {
+		t.Errorf("quarantine file missing the corrupt line (err=%v)", err)
+	}
+	if debris, _ := filepath.Glob(filepath.Join(dir, "checkpoints", "*.tmp*")); len(debris) != 0 {
+		t.Errorf("temp debris not swept: %v", debris)
+	}
+}
+
+// TestRecoveryRetriesCorruptCheckpoint: a checkpoint whose body was
+// corrupted on disk (framing intact, engine CRC broken) must not fail
+// the job — the engine refuses the snapshot, the server drops it and
+// retries from scratch through the backoff schedule, and the result is
+// still bit-identical.
+func TestRecoveryRetriesCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := durableServer(t, dir, Config{Workers: 1, QueueDepth: 4, CheckpointEvery: 500})
+
+	long, code := submit(t, ts, longSubmission())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	waitForCheckpoint(t, dir, long.ID)
+	srv.crashForTest()
+	ts.Close()
+
+	// Flip the last byte: that's inside the engine snapshot's trailing
+	// CRC, so the store-level framing still parses and recovery hands the
+	// engine a snapshot it will reject at resume time.
+	path := filepath.Join(dir, "checkpoints", long.ID+".snap")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, ts2 := durableServer(t, dir, Config{Workers: 1, QueueDepth: 4, CheckpointEvery: 500})
+	defer ts2.Close()
+	defer srv2.crashForTest()
+
+	if fin := waitTerminal(t, ts2, long.ID); fin.State != StateDone {
+		t.Fatalf("job ended %q (%s), want done via retry-from-scratch", fin.State, fin.Error)
+	}
+	if st := srv2.stats(); st.JobsRetried < 1 {
+		t.Errorf("jobs_retried = %d, want >= 1", st.JobsRetried)
+	}
+	if got, want := getReport(t, ts2, long.ID), referenceReport(t, longSubmission()); !bytes.Equal(got, want) {
+		t.Error("retried run is not bit-identical to an uninterrupted run")
+	}
+}

@@ -10,12 +10,22 @@
 // then are canceled through the same context plumbing the engine
 // observes at cycle-batch checkpoints, and the accounting guarantees no
 // accepted job is ever silently lost.
+//
+// With Config.DataDir the server is additionally durable (see store.go
+// and recover.go): accepted jobs and their state transitions are
+// journaled write-ahead, finished reports are persisted content-
+// addressed, running jobs checkpoint their engine state periodically,
+// and a process restarted on the same directory replays the journal —
+// finished jobs keep their exact result bytes, interrupted jobs
+// re-enqueue and resume from their last checkpoint, bit-identical to
+// never having crashed.
 package serve
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"sync"
@@ -51,6 +61,25 @@ type Config struct {
 	// Limits bounds what one submission may ask for. The zero value is
 	// unlimited.
 	Limits Limits
+	// DataDir, when non-empty, makes the server durable: accepted jobs,
+	// state transitions and results are journaled under it (write-ahead,
+	// fsync'd before the submission is acknowledged), running "run" jobs
+	// checkpoint their engine state every CheckpointEvery cycles, and a
+	// server restarted on the same directory replays the journal —
+	// finished jobs keep their exact result bytes, interrupted jobs
+	// re-enqueue and resume from their last checkpoint. Empty (the
+	// default) means fully in-memory. Use Open, not New: replay can fail.
+	DataDir string
+	// CheckpointEvery is the cycle interval between durable checkpoints
+	// of running jobs (default 5000; only meaningful with DataDir).
+	CheckpointEvery int64
+	// RetryMax caps re-execution attempts after a transient failure —
+	// an unusable recovery checkpoint, say (default 3; negative
+	// disables retries).
+	RetryMax int
+	// Logf receives operational warnings: journal quarantines, failed
+	// durable writes, recovery decisions. Default log.Printf.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +100,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Pool == nil {
 		c.Pool = parallel.Default()
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 5000
+	}
+	if c.RetryMax == 0 {
+		c.RetryMax = 3
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
 	}
 	return c
 }
@@ -94,14 +132,26 @@ type Server struct {
 	workerWG sync.WaitGroup
 	jobWG    sync.WaitGroup // one count per accepted, non-terminal job
 
+	// store is the durable state (nil for an in-memory server).
+	store *store
+
 	mu       sync.Mutex
 	draining bool
+	ready    bool // set once Open finished (journal replayed, workers up)
+	crashed  bool // crashForTest ran; the server is a corpse
 	jobs     map[string]*Job
 	order    []string // submission order, for GET /v1/jobs
 	nextID   uint64
+	// retryTimers holds the pending backoff timers of deferred
+	// re-executions, so shutdown and the crash simulation can stop them.
+	retryTimers map[string]*time.Timer
 
 	submitted int64
 	rejected  int64 // 429s (backpressure), not validation failures
+
+	journalReplays int64 // journal records replayed at startup
+	jobsRecovered  int64 // jobs re-enqueued or re-finished by recovery
+	jobsRetried    int64 // transient-failure re-executions scheduled
 
 	// testHook, when set, runs inside each job's panic-isolation scope
 	// just before execution — the load test injects a panicking job
@@ -109,16 +159,36 @@ type Server struct {
 	testHook func(*Job)
 }
 
-// New builds a Server and starts its workers.
+// New builds an in-memory Server and starts its workers. A durable
+// server (Config.DataDir) must use Open instead — journal replay can
+// fail, and New has no error to return; it panics if handed a DataDir.
 func New(cfg Config) *Server {
+	if cfg.DataDir != "" {
+		panic("serve.New: Config.DataDir requires Open (journal replay can fail)")
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err) // unreachable: only the DataDir path can fail
+	}
+	return s
+}
+
+// Open builds a Server and starts its workers. With Config.DataDir it
+// first replays the journal: jobs the previous process finished come
+// back terminal with their exact result bytes (and warm the cache),
+// jobs it had merely accepted are re-enqueued — resuming from their
+// last engine checkpoint where one exists — before any new submission
+// can jump the line.
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		pool:  cfg.Pool,
-		cache: newCache(cfg.CacheSize),
-		queue: make(chan *Job, cfg.QueueDepth),
-		quit:  make(chan struct{}),
-		jobs:  make(map[string]*Job),
+		cfg:         cfg,
+		pool:        cfg.Pool,
+		cache:       newCache(cfg.CacheSize),
+		queue:       make(chan *Job, cfg.QueueDepth),
+		quit:        make(chan struct{}),
+		jobs:        make(map[string]*Job),
+		retryTimers: make(map[string]*time.Timer),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 
@@ -132,12 +202,25 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+
+	if cfg.DataDir != "" {
+		st, rep, err := openStore(cfg.DataDir, cfg.Logf)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		s.recoverJobs(rep)
+	}
 
 	s.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
-	return s
+	s.mu.Lock()
+	s.ready = true
+	s.mu.Unlock()
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -184,6 +267,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	close(s.quit)
 	s.workerWG.Wait()
 	s.baseCancel()
+	s.stopRetryTimers()
+	if s.store != nil {
+		s.store.detach()
+	}
 	return err
 }
 
@@ -224,6 +311,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.index(job)
+		s.journalAccepted(job)
 		job.finishDone(report, true)
 		writeJSON(w, http.StatusOK, job.Status())
 		return
@@ -237,6 +325,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.queue <- job:
 		s.index(job)
+		s.journalAccepted(job)
 		writeJSON(w, http.StatusAccepted, job.Status())
 	default:
 		// Refused: the job was never indexed, so nothing else holds a
@@ -268,7 +357,9 @@ func (s *Server) accept(spec JobSpec, hash string) (*Job, bool) {
 	s.nextID++
 	id := fmt.Sprintf("j%06d", s.nextID)
 	s.jobWG.Add(1)
-	return newJob(id, spec, hash, s.jobWG.Done), true
+	job := newJob(id, spec, hash, nil)
+	job.onTerminal = s.terminalHook(job)
+	return job, true
 }
 
 // index publishes an accepted job to the lookup and listing tables.
@@ -392,27 +483,49 @@ type Stats struct {
 	QueueDepth  int           `json:"queue_depth"`
 	Workers     int           `json:"workers"`
 	Draining    bool          `json:"draining"`
+	Ready       bool          `json:"ready"`
 	CacheSize   int           `json:"cache_entries"`
 	CacheHits   int64         `json:"cache_hits"`
 	CacheMisses int64         `json:"cache_misses"`
+	// CacheEvictions counts reports pushed out of the LRU by capacity.
+	CacheEvictions int64 `json:"cache_evictions"`
+	// Durable reports whether the server runs with a DataDir; the
+	// counters below are only ever non-zero when it does.
+	Durable bool `json:"durable"`
+	// JournalReplays counts journal records replayed at startup.
+	JournalReplays int64 `json:"journal_records_replayed"`
+	// JobsRecovered counts jobs the replay re-enqueued or re-finished.
+	JobsRecovered int64 `json:"jobs_recovered"`
+	// JobsRetried counts transient-failure re-executions scheduled.
+	JobsRetried int64 `json:"jobs_retried"`
+	// RecordsQuarantined counts corrupt journal lines moved aside.
+	RecordsQuarantined int64 `json:"records_quarantined"`
 }
 
 func (s *Server) stats() Stats {
 	s.mu.Lock()
 	st := Stats{
-		Submitted:  s.submitted,
-		Rejected:   s.rejected,
-		ByState:    make(map[State]int),
-		QueueLen:   len(s.queue),
-		QueueDepth: s.cfg.QueueDepth,
-		Workers:    s.cfg.Workers,
-		Draining:   s.draining,
+		Submitted:      s.submitted,
+		Rejected:       s.rejected,
+		ByState:        make(map[State]int),
+		QueueLen:       len(s.queue),
+		QueueDepth:     s.cfg.QueueDepth,
+		Workers:        s.cfg.Workers,
+		Draining:       s.draining,
+		Ready:          s.ready && !s.draining,
+		Durable:        s.store != nil,
+		JournalReplays: s.journalReplays,
+		JobsRecovered:  s.jobsRecovered,
+		JobsRetried:    s.jobsRetried,
 	}
 	for _, job := range s.jobs {
 		st.ByState[job.Status().State]++
 	}
 	s.mu.Unlock()
-	st.CacheSize, st.CacheHits, st.CacheMisses = s.cache.counters()
+	st.CacheSize, st.CacheHits, st.CacheMisses, st.CacheEvictions = s.cache.counters()
+	if s.store != nil {
+		st.RecordsQuarantined = s.store.quarantinedCount()
+	}
 	return st
 }
 
@@ -438,15 +551,29 @@ func (s *Server) handleTopologies(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"topologies": out})
 }
 
+// handleHealth is the liveness probe: 200 for as long as the process
+// serves HTTP at all, draining or not. Whether the server should
+// receive traffic is /readyz's question.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
-	if draining {
-		writeError(w, http.StatusServiceUnavailable, "draining")
-		return
-	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is the readiness probe: 503 until startup (including the
+// journal replay of a durable server) has finished, and 503 again once
+// draining begins — the signal for a load balancer to stop routing
+// new work here while the process stays alive to finish what it has.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ready, draining := s.ready, s.draining
+	s.mu.Unlock()
+	switch {
+	case draining:
+		writeError(w, http.StatusServiceUnavailable, "draining")
+	case !ready:
+		writeError(w, http.StatusServiceUnavailable, "starting: journal replay in progress")
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }
 
 // --- JSON plumbing --------------------------------------------------

@@ -449,13 +449,23 @@ func TestShutdownRefusesNewWork(t *testing.T) {
 	if _, code := submit(t, ts, tinySubmission()); code != http.StatusServiceUnavailable {
 		t.Errorf("submit while draining: status %d, want 503", code)
 	}
-	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	resp, err := ts.Client().Get(ts.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("healthz while draining: %d, want 503", resp.StatusCode)
+		t.Errorf("readyz while draining: %d, want 503", resp.StatusCode)
+	}
+	// Liveness is a different question: the process is up, so healthz
+	// stays 200 even while draining.
+	resp, err = ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz while draining: %d, want 200", resp.StatusCode)
 	}
 }
 

@@ -192,6 +192,28 @@ func (e *ConfigError) Error() string {
 	return fmt.Sprintf("sim: invalid config: %s = %s (%s)", e.Param, e.Value, e.Reason)
 }
 
+// ErrBadSnapshot is the sentinel every snapshot decode failure wraps:
+// the bytes handed to Restore/ResumeCtx are not a usable dfly-snap/1
+// snapshot — truncated, corrupt, a different (unsupported) snapshot
+// version, or taken from a network this one does not match. Match it
+// with errors.Is and retrieve the diagnostic with errors.As on
+// *SnapshotError. Restoring from a bad snapshot never panics and never
+// allocates proportional to a corrupt length field; it also cannot be
+// rolled back, so on error the target network must be discarded.
+var ErrBadSnapshot = errors.New("sim: bad snapshot")
+
+// SnapshotError says why a snapshot was rejected.
+type SnapshotError struct {
+	// Reason is the first problem the decoder found.
+	Reason string
+}
+
+// Error describes the rejected snapshot.
+func (e *SnapshotError) Error() string { return "sim: snapshot: " + e.Reason }
+
+// Unwrap makes errors.Is(err, ErrBadSnapshot) match.
+func (e *SnapshotError) Unwrap() error { return ErrBadSnapshot }
+
 // InvariantError reports a violated flow-control invariant (buffer or
 // credit overflow): a simulator or routing bug. It fails the run it
 // occurred in instead of panicking, so one poisoned simulation cannot

@@ -32,11 +32,25 @@ type RunConfig struct {
 	// for exactly the measurement phase and reports it in
 	// Result.ChannelUtil (Figure 9). Any collector already attached via
 	// Network.AttachMetrics keeps receiving events alongside it and is
-	// restored when the measurement window closes.
+	// restored when the measurement window closes. Incompatible with
+	// CheckpointEvery: collector state is not part of a snapshot.
 	Utilization bool
 	// StallLimit aborts the run if no flit moves for this many cycles
 	// while packets are in flight — a deadlock detector. Default 10000.
 	StallLimit int64
+	// CheckpointEvery, when > 0, captures a dfly-snap/1 checkpoint —
+	// engine state plus the run's accumulated measurement state — every
+	// CheckpointEvery cycles and hands it to CheckpointSink. Checkpoints
+	// are taken between Steps (the same cycle-batch boundaries
+	// cancellation observes), so they never see a half-applied cycle, and
+	// resuming one via ResumeCtx finishes bit-identical to a run that was
+	// never interrupted.
+	CheckpointEvery int64
+	// CheckpointSink receives each checkpoint's encoded bytes. A sink
+	// error aborts the run with a phase-tagged error wrapping it — the
+	// right behaviour both for unwritable checkpoint storage and for
+	// callers that deliberately stop a run at its first checkpoint.
+	CheckpointSink func(snapshot []byte) error
 }
 
 // Validate reports the first problem with the run parameters as a
@@ -62,6 +76,14 @@ func (rc RunConfig) Validate() error {
 		return &ConfigError{Param: "HistWidth", Value: fmt.Sprint(rc.HistWidth), Reason: "bucket width must be >= 0 (0 takes the default)"}
 	case rc.StallLimit < 0:
 		return &ConfigError{Param: "StallLimit", Value: fmt.Sprint(rc.StallLimit), Reason: "the stall horizon must be >= 0 (0 takes the default)"}
+	case rc.CheckpointEvery < 0:
+		return &ConfigError{Param: "CheckpointEvery", Value: fmt.Sprint(rc.CheckpointEvery), Reason: "the checkpoint interval must be >= 0 cycles (0 disables checkpointing)"}
+	case rc.CheckpointEvery > 0 && rc.CheckpointSink == nil:
+		return &ConfigError{Param: "CheckpointSink", Value: "nil", Reason: "a checkpoint interval needs a sink to receive the snapshots"}
+	case rc.CheckpointSink != nil && rc.CheckpointEvery == 0:
+		return &ConfigError{Param: "CheckpointEvery", Value: "0", Reason: "a checkpoint sink needs an interval (CheckpointEvery > 0)"}
+	case rc.CheckpointEvery > 0 && rc.Utilization:
+		return &ConfigError{Param: "CheckpointEvery", Value: fmt.Sprint(rc.CheckpointEvery), Reason: "utilization collection cannot be checkpointed (collector state is not part of a snapshot)"}
 	}
 	return nil
 }
@@ -118,6 +140,35 @@ type Result struct {
 	ChannelUtil *metrics.ChannelUtil
 }
 
+// Phase positions as stored in a checkpoint's run section.
+const (
+	phaseWarmupIdx  = uint8(PhaseWarmup)
+	phaseMeasureIdx = uint8(PhaseMeasure)
+	phaseDrainIdx   = uint8(PhaseDrain)
+)
+
+// runState is the complete RunCtx measurement state — everything a
+// snapshot of the engine does not already cover — carried in a
+// checkpoint's run section so a resumed run continues the exact
+// accumulator recurrences and phase position of the interrupted one.
+type runState struct {
+	// rc echoes the run parameters the checkpoint was taken under;
+	// ResumeCtx refuses to continue under different ones.
+	rc RunConfig
+	// res accumulates the Result under construction (the OnEject
+	// observer feeds its accumulators and histograms).
+	res Result
+	// minCount and totalCount drive MinimalFraction.
+	minCount, totalCount int64
+	// dropped0, killed0 and rerouted0 are the run-start baselines the
+	// finished Result's deltas are taken against.
+	dropped0, killed0, rerouted0 int64
+	// phaseIdx and iterDone are the position: iterDone cycles of phase
+	// phaseIdx are complete.
+	phaseIdx uint8
+	iterDone int64
+}
+
 // Run executes the full warm-up/measure/drain sequence on net and
 // returns the measurements. The network keeps its state afterwards, so
 // successive runs at increasing load on a fresh network per load point
@@ -141,42 +192,91 @@ func RunCtx(ctx context.Context, net *Network, rc RunConfig) (Result, error) {
 	if err := rc.Validate(); err != nil {
 		return Result{}, err
 	}
+	normalizeRunConfig(&rc)
+	st := &runState{rc: rc}
+	st.res.Offered = rc.Load
+	if rc.Histogram {
+		st.res.Hist = stats.NewHistogram(rc.HistWidth)
+		st.res.MinHist = stats.NewHistogram(rc.HistWidth)
+		st.res.NonminHist = stats.NewHistogram(rc.HistWidth)
+	}
+	return runPhases(ctx, net, rc, st, false)
+}
+
+// ResumeCtx continues a run from a checkpoint taken by a RunCtx with
+// CheckpointEvery set. net must be freshly built over the same
+// topology, configuration, routing, traffic and timeline the
+// checkpoint's network had (any shard count), and rc must carry the
+// same run parameters the checkpointed run was started with —
+// CheckpointEvery and CheckpointSink are free to differ, so a resumed
+// run can itself keep checkpointing. The finished Result is
+// bit-identical to the uninterrupted run's.
+//
+// A snapshot that does not decode against net is a *SnapshotError
+// (wrapping ErrBadSnapshot); on any error the network may hold
+// partially restored state and must be discarded.
+func ResumeCtx(ctx context.Context, net *Network, rc RunConfig, snap []byte) (Result, error) {
+	if err := rc.Validate(); err != nil {
+		return Result{}, err
+	}
+	if rc.Utilization {
+		return Result{}, &ConfigError{Param: "Utilization", Value: "true", Reason: "utilization collection cannot resume from a checkpoint (collector state is not part of a snapshot)"}
+	}
+	normalizeRunConfig(&rc)
+	rs, err := net.restore(snap, true)
+	if err != nil {
+		return Result{}, err
+	}
+	if c := rs.rc; math.Float64bits(c.Load) != math.Float64bits(rc.Load) ||
+		c.WarmupCycles != rc.WarmupCycles || c.MeasureCycles != rc.MeasureCycles ||
+		c.DrainCycles != rc.DrainCycles || c.Histogram != rc.Histogram ||
+		c.HistWidth != rc.HistWidth || c.StallLimit != rc.StallLimit {
+		return Result{}, &SnapshotError{Reason: fmt.Sprintf(
+			"checkpointed run parameters (load %v, warmup %d, measure %d, drain %d, histogram %t/%d, stall %d) do not match the resume's (load %v, warmup %d, measure %d, drain %d, histogram %t/%d, stall %d)",
+			c.Load, c.WarmupCycles, c.MeasureCycles, c.DrainCycles, c.Histogram, c.HistWidth, c.StallLimit,
+			rc.Load, rc.WarmupCycles, rc.MeasureCycles, rc.DrainCycles, rc.Histogram, rc.HistWidth, rc.StallLimit)}
+	}
+	rs.rc = rc
+	return runPhases(ctx, net, rc, rs, true)
+}
+
+// normalizeRunConfig applies the documented defaults (after Validate).
+func normalizeRunConfig(rc *RunConfig) {
 	if rc.StallLimit <= 0 {
 		rc.StallLimit = 10000
 	}
 	if rc.HistWidth <= 0 {
 		rc.HistWidth = 2
 	}
+}
 
-	res := Result{}
-	res.Offered = rc.Load
-	if rc.Histogram {
-		res.Hist = stats.NewHistogram(rc.HistWidth)
-		res.MinHist = stats.NewHistogram(rc.HistWidth)
-		res.NonminHist = stats.NewHistogram(rc.HistWidth)
-	}
-	var minCount, totalCount int64
+// runPhases drives the warm-up/measure/drain sequence from st's phase
+// position to completion. For a fresh run st starts at warm-up cycle 0;
+// for a resumed one st and the network both sit exactly where the
+// checkpoint was taken, so the first loop iteration re-fires that same
+// checkpoint (bit-identical, harmless) and continues.
+func runPhases(ctx context.Context, net *Network, rc RunConfig, st *runState, resumed bool) (Result, error) {
 	net.OnEject = func(p *Packet, now int64) {
 		if !p.Measured {
 			return
 		}
 		lat := float64(now - p.CreateTime)
-		res.Latency.Add(lat)
-		totalCount++
+		st.res.Latency.Add(lat)
+		st.totalCount++
 		if p.Minimal {
-			res.MinLatency.Add(lat)
-			minCount++
-			if res.MinHist != nil {
-				res.MinHist.Add(now - p.CreateTime)
+			st.res.MinLatency.Add(lat)
+			st.minCount++
+			if st.res.MinHist != nil {
+				st.res.MinHist.Add(now - p.CreateTime)
 			}
 		} else {
-			res.NonminLatency.Add(lat)
-			if res.NonminHist != nil {
-				res.NonminHist.Add(now - p.CreateTime)
+			st.res.NonminLatency.Add(lat)
+			if st.res.NonminHist != nil {
+				st.res.NonminHist.Add(now - p.CreateTime)
 			}
 		}
-		if res.Hist != nil {
-			res.Hist.Add(now - p.CreateTime)
+		if st.res.Hist != nil {
+			st.res.Hist.Add(now - p.CreateTime)
 		}
 	}
 	// Reset the measurement state on every exit path, error returns
@@ -201,20 +301,39 @@ func RunCtx(ctx context.Context, net *Network, rc RunConfig) (Result, error) {
 	}()
 
 	net.SetLoad(rc.Load)
-	dropped0 := net.totalDropped()
-	killed0 := net.killedInFlight
-	rerouted0 := net.rerouted
-	res.AliveTerminals = net.aliveTerms
+	if !resumed {
+		st.dropped0 = net.totalDropped()
+		st.killed0 = net.killedInFlight
+		st.rerouted0 = net.rerouted
+		st.res.AliveTerminals = net.aliveTerms
+	}
 	stalled := func() bool {
 		return net.totalInFlight() > 0 && net.now-net.maxLastMove() > rc.StallLimit
 	}
-	// phase runs one simulation phase for up to limit cycles, stopping
-	// early when stop says so, and converts detector trips and Step
-	// failures into phase-tagged errors.
-	phase := func(ph Phase, limit int, stop func() bool) error {
-		for i := 0; i < limit; i++ {
+	checkpoint := func(ph Phase, done int64) error {
+		st.phaseIdx, st.iterDone = uint8(ph), done
+		snap, err := net.snapshot(st)
+		if err != nil {
+			return fmt.Errorf("sim: %s phase: checkpoint: %w", ph, err)
+		}
+		if err := rc.CheckpointSink(snap); err != nil {
+			return fmt.Errorf("sim: %s phase: checkpoint sink: %w", ph, err)
+		}
+		return nil
+	}
+	// phase runs one simulation phase from its start-th to its limit-th
+	// cycle, stopping early when stop says so, and converts detector
+	// trips and Step failures into phase-tagged errors. Checkpoints fire
+	// between Steps, before the cycle that lands on the interval.
+	phase := func(ph Phase, start, limit int64, stop func() bool) error {
+		for i := start; i < limit; i++ {
 			if stop != nil && stop() {
 				return nil
+			}
+			if rc.CheckpointEvery > 0 && net.now > 0 && net.now%rc.CheckpointEvery == 0 {
+				if err := checkpoint(ph, i); err != nil {
+					return err
+				}
 			}
 			if err := net.Step(); err != nil {
 				var ce *CanceledError
@@ -231,49 +350,61 @@ func RunCtx(ctx context.Context, net *Network, rc RunConfig) (Result, error) {
 	}
 
 	// Warm-up.
-	if err := phase(PhaseWarmup, rc.WarmupCycles, nil); err != nil {
-		return res, err
+	if st.phaseIdx == phaseWarmupIdx {
+		if err := phase(PhaseWarmup, st.iterDone, int64(rc.WarmupCycles), nil); err != nil {
+			return st.res, err
+		}
+		// Measurement setup. A resume into the measurement phase skips
+		// this: the window flags and counters were restored with the
+		// engine.
+		if rc.Utilization {
+			st.res.ChannelUtil = metrics.NewChannelUtil(net.NumLinks())
+			st.res.ChannelUtil.SetWindow(int64(rc.MeasureCycles))
+			if prevCollector != nil {
+				net.AttachMetrics(metrics.Multi{prevCollector, st.res.ChannelUtil})
+			} else {
+				net.AttachMetrics(st.res.ChannelUtil)
+			}
+		}
+		net.measuring = true
+		net.countWindow = true
+		net.resetWindowCounts()
+		st.phaseIdx, st.iterDone = phaseMeasureIdx, 0
 	}
 
 	// Measurement.
-	if rc.Utilization {
-		res.ChannelUtil = metrics.NewChannelUtil(net.NumLinks())
-		res.ChannelUtil.SetWindow(int64(rc.MeasureCycles))
-		if prevCollector != nil {
-			net.AttachMetrics(metrics.Multi{prevCollector, res.ChannelUtil})
-		} else {
-			net.AttachMetrics(res.ChannelUtil)
+	if st.phaseIdx == phaseMeasureIdx {
+		if err := phase(PhaseMeasure, st.iterDone, int64(rc.MeasureCycles), nil); err != nil {
+			return st.res, err
 		}
+		net.measuring = false
+		net.countWindow = false
+		if rc.Utilization {
+			// The utilization window is exactly the measurement phase: detach
+			// so the drain neither counts flits nor accrues dead time.
+			net.AttachMetrics(prevCollector)
+		}
+		st.res.Accepted = float64(net.totalEjectedWindow()) / (float64(net.aliveTerms) * float64(rc.MeasureCycles))
+		st.phaseIdx, st.iterDone = phaseDrainIdx, 0
 	}
-	net.measuring = true
-	net.countWindow = true
-	net.resetWindowCounts()
-	if err := phase(PhaseMeasure, rc.MeasureCycles, nil); err != nil {
-		return res, err
-	}
-	net.measuring = false
-	net.countWindow = false
-	if rc.Utilization {
-		// The utilization window is exactly the measurement phase: detach
-		// so the drain neither counts flits nor accrues dead time.
-		net.AttachMetrics(prevCollector)
-	}
-	res.Accepted = float64(net.totalEjectedWindow()) / (float64(net.aliveTerms) * float64(rc.MeasureCycles))
 
-	// Drain every tagged packet.
+	// Drain every tagged packet. A resume into the drain phase keeps the
+	// checkpointed Accepted: recomputing it here could disagree if a
+	// timeline changed aliveTerms between the window's close and the
+	// checkpoint.
 	drained := func() bool { return net.totalOutstanding() <= 0 }
-	if err := phase(PhaseDrain, rc.DrainCycles, drained); err != nil {
-		return res, err
+	if err := phase(PhaseDrain, st.iterDone, int64(rc.DrainCycles), drained); err != nil {
+		return st.res, err
 	}
-	res.DrainTimeout = !drained()
+	st.res.DrainTimeout = !drained()
 
-	if totalCount > 0 {
-		res.MinimalFraction = float64(minCount) / float64(totalCount)
+	if st.totalCount > 0 {
+		st.res.MinimalFraction = float64(st.minCount) / float64(st.totalCount)
 	}
-	res.Cycles = net.now
-	res.Dropped = net.totalDropped() - dropped0
-	res.KilledInFlight = net.killedInFlight - killed0
-	res.Rerouted = net.rerouted - rerouted0
-	res.Saturated = res.DrainTimeout || res.Accepted < rc.Load*0.95
-	return res, nil
+	st.res.Cycles = net.now
+	st.res.Dropped = net.totalDropped() - st.dropped0
+	st.res.KilledInFlight = net.killedInFlight - st.killed0
+	st.res.Rerouted = net.rerouted - st.rerouted0
+	st.res.Saturated = st.res.DrainTimeout || st.res.Accepted < rc.Load*0.95
+	return st.res, nil
 }

@@ -1,0 +1,82 @@
+package sim_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dragonfly/internal/sim"
+)
+
+// FuzzSnapshotDecode drives Restore over arbitrary inputs: truncations,
+// bit flips, version bumps and whatever the fuzzer mutates the seed
+// corpus into. The contract under test is the decoder's: every
+// rejection is a typed error wrapping ErrBadSnapshot (never a panic),
+// no corrupt length field drives an allocation beyond the input size,
+// and anything that does decode leaves a network whose flow invariants
+// hold. The run section decodes through the same entry point (Restore
+// parses and discards it), so checkpoint blobs fuzz the full format.
+func FuzzSnapshotDecode(f *testing.F) {
+	seedCorpus := func(withRun bool, every int64) []byte {
+		net := snapNet(f, 3)
+		if !withRun {
+			net.SetLoad(0.3)
+			for i := 0; i < 200; i++ {
+				if err := net.Step(); err != nil {
+					f.Fatal(err)
+				}
+			}
+			snap, err := net.Snapshot()
+			if err != nil {
+				f.Fatal(err)
+			}
+			return snap
+		}
+		var snap []byte
+		stop := errors.New("stop")
+		_, err := sim.RunCtx(f.Context(), net, sim.RunConfig{
+			Load: 0.25, WarmupCycles: 400, MeasureCycles: 400, DrainCycles: 20000,
+			Histogram:       true,
+			CheckpointEvery: every,
+			CheckpointSink:  func(b []byte) error { snap = bytes.Clone(b); return stop },
+		})
+		if !errors.Is(err, stop) {
+			f.Fatalf("checkpoint capture: %v", err)
+		}
+		return snap
+	}
+
+	engine := seedCorpus(false, 0)
+	ckptWarm := seedCorpus(true, 300)
+	ckptMeasure := seedCorpus(true, 700)
+	f.Add(engine)
+	f.Add(ckptWarm)
+	f.Add(ckptMeasure)
+	f.Add(engine[:len(engine)/2])
+	f.Add(ckptWarm[:len(ckptWarm)-5])
+	bumped := bytes.Clone(engine)
+	bumped[10] = '9'
+	f.Add(bumped)
+	flipped := bytes.Clone(ckptMeasure)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("dfly-snap/1\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net := snapNet(t, 2)
+		if err := net.Restore(data); err != nil {
+			if !errors.Is(err, sim.ErrBadSnapshot) {
+				t.Fatalf("Restore returned a non-snapshot error: %v", err)
+			}
+			var se *sim.SnapshotError
+			if !errors.As(err, &se) {
+				t.Fatalf("Restore error %T is not a *SnapshotError", err)
+			}
+			return
+		}
+		if err := net.CheckFlowInvariants(); err != nil {
+			t.Fatalf("accepted snapshot violates flow invariants: %v", err)
+		}
+	})
+}

@@ -1,0 +1,271 @@
+package sim_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"dragonfly/internal/routing"
+	"dragonfly/internal/sim"
+	"dragonfly/internal/topology"
+	"dragonfly/internal/traffic"
+)
+
+// snapNet builds the standard test network for snapshot tests: the
+// Figure 5 dragonfly under UGAL-L_VCH/uniform-random, partitioned into
+// shards. It takes testing.TB so fuzz seeding (*testing.F) can build
+// networks too.
+func snapNet(tb testing.TB, shards int) *sim.Network {
+	tb.Helper()
+	d, err := topology.NewDragonfly(2, 4, 2, 0)
+	if err != nil {
+		tb.Fatalf("NewDragonfly: %v", err)
+	}
+	net, err := sim.New(d, testConfig(), routing.NewUGAL(d, routing.UGALLocalVCH), traffic.NewUniformRandom(d.Nodes()))
+	if err != nil {
+		tb.Fatalf("sim.New: %v", err)
+	}
+	if err := net.SetShards(shards); err != nil {
+		tb.Fatalf("SetShards(%d): %v", shards, err)
+	}
+	return net
+}
+
+// TestSnapshotRoundTripAcrossShards is the canonical-form check: a
+// snapshot taken mid-flight at one shard count restores at another, the
+// restored network continues bit-identically (its own later snapshot
+// equals the original network's), and the encoding itself is
+// shard-count independent (both networks produce byte-identical
+// snapshots at every compared point).
+func TestSnapshotRoundTripAcrossShards(t *testing.T) {
+	for _, tc := range []struct{ snapShards, resShards int }{
+		{1, 3}, {3, 1}, {3, 3},
+	} {
+		orig := snapNet(t, tc.snapShards)
+		orig.SetLoad(0.3)
+		for i := 0; i < 250; i++ {
+			if err := orig.Step(); err != nil {
+				t.Fatalf("%+v: Step %d: %v", tc, i, err)
+			}
+		}
+		snap, err := orig.Snapshot()
+		if err != nil {
+			t.Fatalf("%+v: Snapshot: %v", tc, err)
+		}
+		if orig.InFlight() == 0 {
+			t.Fatalf("%+v: nothing in flight at the snapshot point", tc)
+		}
+
+		rest := snapNet(t, tc.resShards)
+		if err := rest.Restore(snap); err != nil {
+			t.Fatalf("%+v: Restore: %v", tc, err)
+		}
+		if got, want := rest.Now(), orig.Now(); got != want {
+			t.Fatalf("%+v: restored at cycle %d, want %d", tc, got, want)
+		}
+		if got, want := rest.InFlight(), orig.InFlight(); got != want {
+			t.Fatalf("%+v: restored %d packets in flight, want %d", tc, got, want)
+		}
+		resnap, err := rest.Snapshot()
+		if err != nil {
+			t.Fatalf("%+v: re-Snapshot: %v", tc, err)
+		}
+		if !bytes.Equal(snap, resnap) {
+			t.Fatalf("%+v: snapshot of the restored network differs from the original", tc)
+		}
+
+		for i := 0; i < 200; i++ {
+			if err := orig.Step(); err != nil {
+				t.Fatalf("%+v: original Step %d after snapshot: %v", tc, i, err)
+			}
+			if err := rest.Step(); err != nil {
+				t.Fatalf("%+v: restored Step %d: %v", tc, i, err)
+			}
+		}
+		a, err := orig.Snapshot()
+		if err != nil {
+			t.Fatalf("%+v: final original Snapshot: %v", tc, err)
+		}
+		b, err := rest.Snapshot()
+		if err != nil {
+			t.Fatalf("%+v: final restored Snapshot: %v", tc, err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%+v: networks diverged within 200 cycles of the restore", tc)
+		}
+	}
+}
+
+// TestSnapshotTypedErrors drives the decoder over the rejection cases:
+// every one must be a *SnapshotError wrapping ErrBadSnapshot, never a
+// panic, and never a silent success.
+func TestSnapshotTypedErrors(t *testing.T) {
+	orig := snapNet(t, 1)
+	orig.SetLoad(0.3)
+	for i := 0; i < 150; i++ {
+		if err := orig.Step(); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	snap, err := orig.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func() ([]byte, *sim.Network)
+	}{
+		{"truncated header", func() ([]byte, *sim.Network) {
+			return snap[:8], snapNet(t, 1)
+		}},
+		{"truncated body", func() ([]byte, *sim.Network) {
+			return snap[:len(snap)-40], snapNet(t, 1)
+		}},
+		{"version bump", func() ([]byte, *sim.Network) {
+			b := bytes.Clone(snap)
+			b[10] = '2' // "dfly-snap/1" -> "dfly-snap/2"
+			return b, snapNet(t, 1)
+		}},
+		{"flipped bit", func() ([]byte, *sim.Network) {
+			b := bytes.Clone(snap)
+			b[len(b)/2] ^= 0x10
+			return b, snapNet(t, 1)
+		}},
+		{"fingerprint mismatch", func() ([]byte, *sim.Network) {
+			d := testDragonfly(t)
+			cfg := testConfig()
+			cfg.Seed = 999 // same machine, different RNG universe
+			return snap, newNet(t, d, cfg, buildAlg(t, d, "UGAL-L_VCH"), traffic.NewUniformRandom(d.Nodes()))
+		}},
+	}
+	for _, tc := range cases {
+		b, net := tc.mut()
+		err := net.Restore(b)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !errors.Is(err, sim.ErrBadSnapshot) {
+			t.Errorf("%s: error %v does not wrap ErrBadSnapshot", tc.name, err)
+		}
+		var se *sim.SnapshotError
+		if !errors.As(err, &se) {
+			t.Errorf("%s: error %T is not a *SnapshotError", tc.name, err)
+		}
+	}
+
+	// Restoring onto a network that has already stepped is refused.
+	used := snapNet(t, 1)
+	used.SetLoad(0.1)
+	if err := used.Step(); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	if err := used.Restore(snap); !errors.Is(err, sim.ErrBadSnapshot) {
+		t.Errorf("Restore onto a stepped network: %v, want ErrBadSnapshot", err)
+	}
+
+	// Resuming needs a checkpoint (run section), not a bare engine
+	// snapshot.
+	if _, err := sim.ResumeCtx(t.Context(), snapNet(t, 1), sim.RunConfig{
+		Load: 0.3, WarmupCycles: 400, MeasureCycles: 400, DrainCycles: 20000,
+	}, snap); !errors.Is(err, sim.ErrBadSnapshot) {
+		t.Errorf("ResumeCtx from a runless snapshot: %v, want ErrBadSnapshot", err)
+	}
+}
+
+// errStopAfterSnapshot is the sentinel a capturing checkpoint sink uses
+// to abort its run once it has the snapshot it wanted.
+var errStopAfterSnapshot = errors.New("stop after first snapshot")
+
+// captureFirstCheckpoint runs rc on a fresh network with a sink that
+// keeps the first checkpoint and aborts, returning the snapshot.
+func captureFirstCheckpoint(t *testing.T, shards int, rc sim.RunConfig, every int64) []byte {
+	t.Helper()
+	var snap []byte
+	rc.CheckpointEvery = every
+	rc.CheckpointSink = func(b []byte) error {
+		snap = bytes.Clone(b)
+		return errStopAfterSnapshot
+	}
+	_, err := sim.RunCtx(t.Context(), snapNet(t, shards), rc)
+	if !errors.Is(err, errStopAfterSnapshot) {
+		t.Fatalf("checkpoint capture run: %v, want the sink's sentinel", err)
+	}
+	if snap == nil {
+		t.Fatal("no checkpoint fired")
+	}
+	return snap
+}
+
+// TestResumeBitIdentical is the sim-level headline invariant:
+// checkpoint → abort → ResumeCtx on a fresh network (at a different
+// shard count) produces a Result identical field for field — histograms
+// included — to a run that was never interrupted.
+func TestResumeBitIdentical(t *testing.T) {
+	rc := sim.RunConfig{
+		Load: 0.25, WarmupCycles: 400, MeasureCycles: 400, DrainCycles: 20000,
+		Histogram: true,
+	}
+	want, err := sim.RunCtx(t.Context(), snapNet(t, 1), rc)
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+
+	for _, tc := range []struct {
+		name       string
+		every      int64
+		snapShards int
+		resShards  int
+	}{
+		{"mid-warmup serial to sharded", 300, 1, 3},
+		{"mid-measure sharded to serial", 700, 3, 1},
+	} {
+		snap := captureFirstCheckpoint(t, tc.snapShards, rc, tc.every)
+		got, err := sim.ResumeCtx(t.Context(), snapNet(t, tc.resShards), rc, snap)
+		if err != nil {
+			t.Fatalf("%s: ResumeCtx: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: resumed result differs from uninterrupted:\n got %+v\nwant %+v", tc.name, got, want)
+		}
+	}
+
+	// Resuming under different run parameters is refused.
+	snap := captureFirstCheckpoint(t, 1, rc, 300)
+	other := rc
+	other.MeasureCycles = 500
+	if _, err := sim.ResumeCtx(t.Context(), snapNet(t, 1), other, snap); !errors.Is(err, sim.ErrBadSnapshot) {
+		t.Errorf("ResumeCtx with mismatched parameters: %v, want ErrBadSnapshot", err)
+	}
+}
+
+// TestCheckpointConfigValidation pins the RunConfig contract for the
+// checkpoint fields.
+func TestCheckpointConfigValidation(t *testing.T) {
+	sink := func([]byte) error { return nil }
+	base := sim.RunConfig{Load: 0.2, WarmupCycles: 10, MeasureCycles: 10, DrainCycles: 100}
+	for _, tc := range []struct {
+		name string
+		mut  func(*sim.RunConfig)
+	}{
+		{"negative interval", func(rc *sim.RunConfig) { rc.CheckpointEvery = -1; rc.CheckpointSink = sink }},
+		{"interval without sink", func(rc *sim.RunConfig) { rc.CheckpointEvery = 100 }},
+		{"sink without interval", func(rc *sim.RunConfig) { rc.CheckpointSink = sink }},
+		{"utilization", func(rc *sim.RunConfig) { rc.CheckpointEvery = 100; rc.CheckpointSink = sink; rc.Utilization = true }},
+	} {
+		rc := base
+		tc.mut(&rc)
+		var ce *sim.ConfigError
+		if err := rc.Validate(); !errors.As(err, &ce) {
+			t.Errorf("%s: Validate() = %v, want *ConfigError", tc.name, err)
+		}
+	}
+	rc := base
+	rc.CheckpointEvery = 100
+	rc.CheckpointSink = sink
+	if err := rc.Validate(); err != nil {
+		t.Errorf("valid checkpoint config rejected: %v", err)
+	}
+}

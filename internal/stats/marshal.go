@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// Binary encoding of the measurement accumulators, used by the
+// simulator's checkpoint/restore layer (dfly-snap/1). The encoding is
+// little-endian and fixed-width: floats travel as their IEEE-754 bit
+// patterns, so a restored accumulator continues the exact Welford
+// recurrence of the run it was captured from — restore-equivalence is
+// bit-identical, not approximate.
+
+// ErrTruncated reports a binary decode that ran out of input.
+var ErrTruncated = errors.New("stats: truncated binary encoding")
+
+// AppendBinary appends the accumulator's complete state to b.
+func (a Accumulator) AppendBinary(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(a.n))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(a.mean))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(a.m2))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(a.min))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(a.max))
+	if a.initedBoth {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// accumulatorWire is the encoded size of one Accumulator.
+const accumulatorWire = 5*8 + 1
+
+// DecodeBinary restores the accumulator from the front of b and returns
+// the remaining bytes. The only possible failure is truncation; the
+// field values themselves are opaque measurement state.
+func (a *Accumulator) DecodeBinary(b []byte) ([]byte, error) {
+	if len(b) < accumulatorWire {
+		return nil, ErrTruncated
+	}
+	a.n = int64(binary.LittleEndian.Uint64(b[0:]))
+	a.mean = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+	a.m2 = math.Float64frombits(binary.LittleEndian.Uint64(b[16:]))
+	a.min = math.Float64frombits(binary.LittleEndian.Uint64(b[24:]))
+	a.max = math.Float64frombits(binary.LittleEndian.Uint64(b[32:]))
+	a.initedBoth = b[40] != 0
+	return b[accumulatorWire:], nil
+}
+
+// AppendBinary appends the histogram's complete state to b.
+func (h *Histogram) AppendBinary(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(h.Width))
+	b = binary.LittleEndian.AppendUint64(b, uint64(h.total))
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(h.count)))
+	for _, c := range h.count {
+		b = binary.LittleEndian.AppendUint64(b, uint64(c))
+	}
+	return b
+}
+
+// DecodeBinary restores the histogram from the front of b and returns
+// the remaining bytes. The bucket count is validated against the bytes
+// actually present before anything is allocated, so a corrupt length
+// field yields ErrTruncated rather than an attempted huge allocation.
+func (h *Histogram) DecodeBinary(b []byte) ([]byte, error) {
+	if len(b) < 3*8 {
+		return nil, ErrTruncated
+	}
+	width := int64(binary.LittleEndian.Uint64(b[0:]))
+	total := int64(binary.LittleEndian.Uint64(b[8:]))
+	buckets := binary.LittleEndian.Uint64(b[16:])
+	b = b[24:]
+	if width < 1 {
+		return nil, errors.New("stats: histogram bucket width < 1")
+	}
+	if buckets > uint64(len(b))/8 {
+		return nil, ErrTruncated
+	}
+	h.Width = width
+	h.total = total
+	h.count = make([]int64, buckets)
+	for i := range h.count {
+		h.count[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return b[buckets*8:], nil
+}
