@@ -76,6 +76,45 @@ func TestSteadyStateZeroAllocSharded(t *testing.T) {
 	}
 }
 
+// TestSteadyStateZeroAllocWorkload extends the gate to the workload
+// layer: a registry-built arrival process (here ON/OFF bursty, whose
+// Arrive draws dwell lengths and flips per-terminal state every few
+// hundred cycles) must keep the warmed Step allocation-free, serial and
+// sharded. Source state lives in the fixed ≤8-word per-terminal arrays
+// sized at build time, so steady state touches no heap.
+func TestSteadyStateZeroAllocWorkload(t *testing.T) {
+	for _, shards := range []int{0, 4} {
+		sys, err := core.NewSystem(core.SystemConfig{P: 2, A: 4, H: 2, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl := core.Workload{Traffic: "ur", Source: "onoff",
+			SourceParams: map[string]int{"on": 40, "off": 120}}
+		net, err := sys.NewNetworkFor(core.AlgUGALLVCH, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.SetLoad(0.2)
+		for cyc := 0; cyc < 3000; cyc++ {
+			if err := net.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var stepErr error
+		allocs := testing.AllocsPerRun(2000, func() {
+			if err := net.Step(); err != nil {
+				stepErr = err
+			}
+		})
+		if stepErr != nil {
+			t.Fatal(stepErr)
+		}
+		if allocs != 0 {
+			t.Errorf("shards=%d: steady-state Step with an ON/OFF source allocated %.4f objects/cycle, want 0", shards, allocs)
+		}
+	}
+}
+
 // TestSteadyStateTracerBounded is the flip side: with a tracer
 // attached the hot path may allocate only while the trace ring grows to
 // its cap — once full, tracing steady state is allocation-free too.

@@ -77,6 +77,7 @@ func main() {
 		maxNodes   = flag.Int("max-nodes", 0, "largest topology (in terminals) a job may request (0 = unlimited)")
 		maxPoints  = flag.Int("max-sweep-points", 0, "largest sweep load list a job may request (0 = unlimited)")
 		maxCycles  = flag.Int64("max-cycles", 0, "largest warmup+measure+drain a job may request (0 = unlimited)")
+		maxTrace   = flag.Int("max-trace-bytes", 1<<20, "largest flow trace a \"trace\" workload may submit (0 = unlimited)")
 		dataDir    = flag.String("data-dir", "", "directory for the durable journal, results and checkpoints (empty = in-memory only)")
 		ckptEvery  = flag.Int64("checkpoint-every", 0, "cycles between engine checkpoints of durable run jobs (0 = default 5000)")
 	)
@@ -94,6 +95,7 @@ func main() {
 			MaxNodes:       *maxNodes,
 			MaxSweepPoints: *maxPoints,
 			MaxCycles:      *maxCycles,
+			MaxTraceBytes:  *maxTrace,
 		},
 		DataDir:         *dataDir,
 		CheckpointEvery: *ckptEvery,

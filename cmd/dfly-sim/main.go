@@ -49,6 +49,17 @@
 //	dfly-sim -alg UGAL-L -load 0.4 -json -window 250 -trace 64 > run.json
 //	dfly-sim -alg UGAL-L -load 0.4 -checkpoint run.snap -checkpoint-every 5000
 //	dfly-sim -alg UGAL-L -load 0.4 -resume run.snap
+//	dfly-sim -alg UGAL-L -traffic hotspot -traffic-params "hot=4,pct=25" -load 0.2
+//	dfly-sim -alg UGAL-L -workload onoff -workload-params "on=50,off=450,pareto=1" -load 0.3
+//	dfly-sim -alg UGAL-L -workload trace -trace-file flows.txt -load 0
+//
+// Workloads: -traffic selects a parameterised traffic family from the
+// registry (where packets go) and -workload an arrival process (when
+// packets are offered) — Bernoulli by default, ON/OFF bursty, drifting
+// hot-spot, collective phases, or replay of a "cycle src dst count"
+// flow trace via -trace-file. Arrival-process state rides in
+// checkpoints, so -checkpoint/-resume stay bit-identical under any
+// workload.
 package main
 
 import (
@@ -72,6 +83,8 @@ import (
 	"dragonfly/internal/parallel"
 	"dragonfly/internal/sim"
 	"dragonfly/internal/topology"
+	"dragonfly/internal/traffic"
+	"dragonfly/internal/workload"
 )
 
 // The exit-code contract (documented in the package comment): distinct
@@ -89,6 +102,11 @@ func main() {
 	var (
 		algName = flag.String("alg", "UGAL-L_VCH", "routing algorithm (MIN, VAL, UGAL-L, UGAL-G, UGAL-L_VC, UGAL-L_VCH, UGAL-L_CR)")
 		pattern = flag.String("pattern", "UR", "traffic pattern (UR, WC, BitComplement, Tornado, Permutation)")
+		trafFam = flag.String("traffic", "", "traffic family from the registry instead of the -pattern enum: "+strings.Join(traffic.FamilyNames(), ", "))
+		trafPar = flag.String("traffic-params", "", `build parameters for -traffic as "k=v,k=v" (omitted keys take the family defaults)`)
+		wlFam   = flag.String("workload", "", "arrival-process family (default: bernoulli): "+strings.Join(workload.FamilyNames(), ", "))
+		wlPar   = flag.String("workload-params", "", `build parameters for -workload as "k=v,k=v"`)
+		wlTrace = flag.String("trace-file", "", `flow trace file for -workload trace (lines of "cycle src dst count")`)
 		load    = flag.Float64("load", 0.3, "offered load in flits/cycle/terminal")
 		p       = flag.Int("p", 4, "terminals per router")
 		a       = flag.Int("a", 8, "routers per group")
@@ -193,7 +211,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pat, err := core.ParsePattern(*pattern)
+	wl, disp, err := buildWorkload(*pattern, *trafFam, *trafPar, *wlFam, *wlPar, *wlTrace)
 	if err != nil {
 		fatal(err)
 	}
@@ -229,6 +247,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *wlTrace != "" {
+		data, err := os.ReadFile(*wlTrace)
+		if err != nil {
+			fatal(fmt.Errorf("-trace-file: %w", err))
+		}
+		tr, err := workload.ParseTrace(data, sys.Topo.Nodes())
+		if err != nil {
+			fatal(fmt.Errorf("-trace-file %s: %w", *wlTrace, err))
+		}
+		fmt.Fprintf(info, "trace %s: %d flows over %d terminals (content hash %016x)\n",
+			*wlTrace, tr.Flows(), tr.Terminals(), tr.Hash())
+		wl.Trace = tr
+	}
 
 	rc := sim.RunConfig{
 		WarmupCycles:  *warmup,
@@ -238,7 +269,7 @@ func main() {
 	}
 
 	if *sweep != "" {
-		runSweep(ctx, sys, alg, pat, *sweep, *jobs, rc, *jsonOut, *seed)
+		runSweep(ctx, sys, alg, wl, disp, *sweep, *jobs, rc, *jsonOut, *seed)
 		return
 	}
 
@@ -249,7 +280,7 @@ func main() {
 	var win *obs.Windows
 	var tr *obs.Tracer
 	if *window > 0 {
-		probe, err := sys.NewNetwork(alg, pat)
+		probe, err := sys.NewNetworkFor(alg, wl)
 		if err != nil {
 			fatal(err)
 		}
@@ -278,9 +309,9 @@ func main() {
 	}
 
 	if !*jsonOut {
-		fmt.Printf("simulating %v, %s routing, %s traffic, load %.3f\n", sys.Topo, alg, pat, *load)
+		fmt.Printf("simulating %v, %s routing, %s traffic, load %.3f\n", sys.Topo, alg, disp, *load)
 	}
-	res, err := sys.Run(alg, pat, *load, rc, opts...)
+	res, err := sys.RunW(alg, wl, *load, rc, opts...)
 	if err != nil {
 		fatalRun(err)
 	}
@@ -289,7 +320,7 @@ func main() {
 		rep := obs.NewReport("run")
 		rep.Topology = fmt.Sprintf("%v", sys.Topo)
 		rep.Algorithm = string(alg)
-		rep.Pattern = string(pat)
+		rep.Pattern = string(disp)
 		rep.Seed = *seed
 		rep.Points = []obs.Point{{Load: *load, Result: obs.MakeResult(res)}}
 		if win != nil {
@@ -416,7 +447,7 @@ func applyFaults(info io.Writer, sys *core.System, failGlobal float64, failRoute
 // runSweep runs a latency-load curve on a worker pool and prints it as
 // an aligned table (or one JSON report), stopping two points after
 // saturation like the paper's plots.
-func runSweep(ctx context.Context, sys *core.System, alg core.Algorithm, pat core.Pattern, spec string, jobs int, rc sim.RunConfig, jsonOut bool, seed uint64) {
+func runSweep(ctx context.Context, sys *core.System, alg core.Algorithm, wl core.Workload, disp core.Pattern, spec string, jobs int, rc sim.RunConfig, jsonOut bool, seed uint64) {
 	loads, err := parseSweep(spec)
 	if err != nil {
 		fatal(err)
@@ -425,9 +456,9 @@ func runSweep(ctx context.Context, sys *core.System, alg core.Algorithm, pat cor
 	pool.SetLog(os.Stderr)
 	if !jsonOut {
 		fmt.Printf("sweeping %v, %s routing, %s traffic: %d load points on %d workers\n",
-			sys.Topo, alg, pat, len(loads), pool.Jobs())
+			sys.Topo, alg, disp, len(loads), pool.Jobs())
 	}
-	pts, err := sys.SweepPool(pool, alg, pat, loads, rc, 2, core.WithContext(ctx))
+	pts, err := sys.SweepPoolW(pool, alg, wl, loads, rc, 2, core.WithContext(ctx))
 	if err != nil {
 		fatalRun(err)
 	}
@@ -435,7 +466,7 @@ func runSweep(ctx context.Context, sys *core.System, alg core.Algorithm, pat cor
 		rep := obs.NewReport("sweep")
 		rep.Topology = fmt.Sprintf("%v", sys.Topo)
 		rep.Algorithm = string(alg)
-		rep.Pattern = string(pat)
+		rep.Pattern = string(disp)
 		rep.Seed = seed
 		var dropped, delivered int64
 		for _, p := range pts {
@@ -482,10 +513,74 @@ func runSweep(ctx context.Context, sys *core.System, alg core.Algorithm, pat cor
 	checkUnroutable(dropped, delivered)
 }
 
+// buildWorkload resolves the traffic/workload flags into the Workload
+// the run executes and the pattern string shown in reports. The legacy
+// -pattern enum path maps through core.PatternWorkload (bit-identical
+// results); -traffic selects a registry family directly and excludes an
+// explicit -pattern. The trace itself is parsed later, once the system
+// (and with it the terminal count) exists.
+func buildWorkload(pattern, trafFam, trafPar, wlFam, wlPar, traceFile string) (core.Workload, core.Pattern, error) {
+	var wl core.Workload
+	var disp core.Pattern
+	if trafFam != "" {
+		var clash error
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "pattern" {
+				clash = fmt.Errorf("-traffic %s replaces -pattern; set one, not both", trafFam)
+			}
+		})
+		if clash != nil {
+			return wl, disp, clash
+		}
+		params, err := parseParams("-traffic-params", trafPar)
+		if err != nil {
+			return wl, disp, err
+		}
+		wl.Traffic, wl.TrafficParams = trafFam, params
+	} else {
+		if trafPar != "" {
+			return wl, disp, fmt.Errorf("-traffic-params needs -traffic")
+		}
+		pat, err := core.ParsePattern(pattern)
+		if err != nil {
+			return wl, disp, err
+		}
+		wl = core.PatternWorkload(pat)
+	}
+	if wlFam != "" {
+		params, err := parseParams("-workload-params", wlPar)
+		if err != nil {
+			return wl, disp, err
+		}
+		wl.Source, wl.SourceParams = wlFam, params
+	} else if wlPar != "" {
+		return wl, disp, fmt.Errorf("-workload-params needs -workload")
+	}
+	isTrace := strings.EqualFold(wlFam, "trace")
+	if traceFile != "" && !isTrace {
+		return wl, disp, fmt.Errorf("-trace-file needs -workload trace")
+	}
+	if isTrace && traceFile == "" {
+		return wl, disp, fmt.Errorf("-workload trace needs -trace-file")
+	}
+	if trafFam != "" || wlFam != "" {
+		disp = core.Pattern(wl.Label())
+	} else {
+		disp = core.Pattern(pattern)
+	}
+	return wl, disp, nil
+}
+
 // parseTopoParams parses the -topo-params "k=v,k=v" list into the
 // parameter map topology.Build consumes (key validation happens there,
 // against the family's schema).
 func parseTopoParams(spec string) (map[string]int, error) {
+	return parseParams("-topo-params", spec)
+}
+
+// parseParams parses a "k=v,k=v" flag value into a parameter map (key
+// validation happens in the registries, against the family's schema).
+func parseParams(flagName, spec string) (map[string]int, error) {
 	params := map[string]int{}
 	if spec == "" {
 		return params, nil
@@ -493,11 +588,11 @@ func parseTopoParams(spec string) (map[string]int, error) {
 	for _, kv := range strings.Split(spec, ",") {
 		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
 		if !ok {
-			return nil, fmt.Errorf("-topo-params: %q is not k=v", kv)
+			return nil, fmt.Errorf("%s: %q is not k=v", flagName, kv)
 		}
 		n, err := strconv.Atoi(strings.TrimSpace(v))
 		if err != nil {
-			return nil, fmt.Errorf("-topo-params: bad value in %q: %w", kv, err)
+			return nil, fmt.Errorf("%s: bad value in %q: %w", flagName, kv, err)
 		}
 		params[strings.TrimSpace(k)] = n
 	}

@@ -19,7 +19,6 @@ import (
 	"dragonfly/internal/routing"
 	"dragonfly/internal/sim"
 	"dragonfly/internal/topology"
-	"dragonfly/internal/traffic"
 )
 
 // Algorithm names a routing algorithm of the paper.
@@ -277,31 +276,35 @@ func routingOver(alg Algorithm, t routing.Topo) (sim.Routing, error) {
 }
 
 // Traffic constructs the traffic pattern over this topology.
+//
+// Deprecated: the enum is a shim over the traffic registry — use
+// TrafficFor with a Workload to reach parameterised families
+// (traffic.FamilyNames). The registry builds the exact patterns this
+// path built, so existing callers lose nothing by staying.
 func (s *System) Traffic(p Pattern) (sim.Traffic, error) {
-	n := s.Topo.Nodes()
-	switch p {
-	case PatternUR:
-		return traffic.NewUniformRandom(n), nil
-	case PatternWC:
-		return traffic.NewWorstCase(s.Topo), nil
-	case PatternBitComplement:
-		return traffic.NewBitComplement(n), nil
-	case PatternTornado:
-		return traffic.NewGroupOffset(s.Topo, s.Topo.Groups()/2)
-	case PatternPermutation:
-		return traffic.NewPermutation(n, s.cfg.Seed), nil
-	default:
-		return nil, fmt.Errorf("core: unknown traffic pattern %q", p)
-	}
+	return s.TrafficFor(PatternWorkload(p))
 }
 
-// NewNetwork builds a fresh simulation network for (alg, pattern). Each
-// load point of a sweep should use a fresh network. With a timeline
-// attached, the network gets its own switchable topology view (epoch
-// swaps are per-network state, so concurrent sweep points stay
-// independent) and the schedule is installed before the first cycle.
+// NewNetwork builds a fresh simulation network for (alg, pattern); see
+// NewNetworkFor for the general Workload form.
 func (s *System) NewNetwork(alg Algorithm, pattern Pattern) (*sim.Network, error) {
-	tr, err := s.Traffic(pattern)
+	return s.NewNetworkFor(alg, PatternWorkload(pattern))
+}
+
+// NewNetworkFor builds a fresh simulation network for (alg, workload).
+// Each load point of a sweep should use a fresh network. With a
+// timeline attached, the network gets its own switchable topology view
+// (epoch swaps are per-network state, so concurrent sweep points stay
+// independent) and the schedule is installed before the first cycle.
+// The workload's source (when one is set) is installed before the
+// network is returned, so snapshots taken from it carry the source
+// fingerprint and per-terminal state.
+func (s *System) NewNetworkFor(alg Algorithm, w Workload) (*sim.Network, error) {
+	tr, err := s.TrafficFor(w)
+	if err != nil {
+		return nil, err
+	}
+	src, err := s.SourceFor(w)
 	if err != nil {
 		return nil, err
 	}
@@ -323,7 +326,7 @@ func (s *System) NewNetwork(alg Algorithm, pattern Pattern) (*sim.Network, error
 		if err := net.SetTimeline(epochs); err != nil {
 			return nil, err
 		}
-		return net, nil
+		return withSource(net, src)
 	}
 	rt, err := s.Routing(alg)
 	if err != nil {
@@ -333,7 +336,23 @@ func (s *System) NewNetwork(alg Algorithm, pattern Pattern) (*sim.Network, error
 	if s.deg != nil {
 		st = s.deg // the simulator detects Alive and kills the dead links
 	}
-	return sim.New(st, s.SimConfig(alg), rt, tr)
+	net, err := sim.New(st, s.SimConfig(alg), rt, tr)
+	if err != nil {
+		return nil, err
+	}
+	return withSource(net, src)
+}
+
+// withSource installs a workload source on a freshly built network,
+// leaving the engine's built-in default untouched when src is nil.
+func withSource(net *sim.Network, src sim.Source) (*sim.Network, error) {
+	if src == nil {
+		return net, nil
+	}
+	if err := net.SetSource(src); err != nil {
+		return nil, err
+	}
+	return net, nil
 }
 
 // Run builds a fresh network and executes one measured simulation at the
@@ -341,7 +360,7 @@ func (s *System) NewNetwork(alg Algorithm, pattern Pattern) (*sim.Network, error
 // WithTrace) and progress reporting (WithProgress).
 func (s *System) Run(alg Algorithm, pattern Pattern, load float64, rc sim.RunConfig, opts ...RunOption) (sim.Result, error) {
 	o := applyOptions(opts)
-	res, err := s.runWith(alg, pattern, load, rc, &o)
+	res, err := s.runWith(alg, PatternWorkload(pattern), load, rc, &o)
 	if err != nil {
 		return res, err
 	}
@@ -353,10 +372,18 @@ func (s *System) Run(alg Algorithm, pattern Pattern, load float64, rc sim.RunCon
 
 // runWith is Run minus the progress callback: the piece SweepPool's
 // workers execute concurrently (progress stays serial, in the fold).
-func (s *System) runWith(alg Algorithm, pattern Pattern, load float64, rc sim.RunConfig, o *runOptions) (sim.Result, error) {
-	net, err := s.NewNetwork(alg, pattern)
+func (s *System) runWith(alg Algorithm, w Workload, load float64, rc sim.RunConfig, o *runOptions) (sim.Result, error) {
+	net, err := s.NewNetworkFor(alg, w)
 	if err != nil {
 		return sim.Result{}, err
+	}
+	if o.source != nil {
+		// A programmatic source (WithSource) overrides the workload's
+		// registry-built one — the hook composite sources like
+		// workload.MultiTenant come in through.
+		if err := net.SetSource(o.source); err != nil {
+			return sim.Result{}, err
+		}
 	}
 	if o.shards > 0 {
 		if err := net.SetShards(o.shards); err != nil {
@@ -421,6 +448,14 @@ func (s *System) Sweep(alg Algorithm, pattern Pattern, loads []float64, rc sim.R
 // a WithProgress callback fires in the serial fold, in load order, and
 // never sees points a truncation discarded.
 func (s *System) SweepPool(pool *parallel.Pool, alg Algorithm, pattern Pattern, loads []float64, rc sim.RunConfig, stopAfterSaturated int, opts ...RunOption) ([]SweepPoint, error) {
+	return s.sweepPool(pool, alg, PatternWorkload(pattern), pattern, loads, rc, stopAfterSaturated, opts...)
+}
+
+// sweepPool is the shared sweep engine: the legacy Pattern entry points
+// and the Workload entry points differ only in how the workload is
+// specified and how it is displayed (disp) in progress events and
+// errors.
+func (s *System) sweepPool(pool *parallel.Pool, alg Algorithm, w Workload, disp Pattern, loads []float64, rc sim.RunConfig, stopAfterSaturated int, opts ...RunOption) ([]SweepPoint, error) {
 	if pool == nil {
 		pool = parallel.Default()
 	}
@@ -441,7 +476,7 @@ func (s *System) SweepPool(pool *parallel.Pool, alg Algorithm, pattern Pattern, 
 		// in flight already observes ctx inside the engine, so this
 		// check only prevents dispatching fresh speculative work.
 		if err := ctx.Err(); err != nil {
-			return out, fmt.Errorf("core: %s/%s sweep canceled before load %.3f: %w", alg, pattern, loads[lo], err)
+			return out, fmt.Errorf("core: %s/%s sweep canceled before load %.3f: %w", alg, disp, loads[lo], err)
 		}
 		hi := lo + wave
 		if hi > len(loads) {
@@ -450,18 +485,18 @@ func (s *System) SweepPool(pool *parallel.Pool, alg Algorithm, pattern Pattern, 
 		pool.ForEach(hi-lo, func(j int) error {
 			i := lo + j
 			pool.Work(func() {
-				results[i], errs[i] = s.runWith(alg, pattern, loads[i], rc, &o)
-				pool.Logf("  %s/%s load %.3f done\n", alg, pattern, loads[i])
+				results[i], errs[i] = s.runWith(alg, w, loads[i], rc, &o)
+				pool.Logf("  %s/%s load %.3f done\n", alg, disp, loads[i])
 			})
 			return nil
 		})
 		for i := lo; i < hi; i++ {
 			if errs[i] != nil {
-				return out, fmt.Errorf("core: %s/%s at load %.3f: %w", alg, pattern, loads[i], errs[i])
+				return out, fmt.Errorf("core: %s/%s at load %.3f: %w", alg, disp, loads[i], errs[i])
 			}
 			out = append(out, SweepPoint{Load: loads[i], Result: results[i]})
 			if o.progress != nil {
-				o.progress(ProgressEvent{Algorithm: alg, Pattern: pattern, Load: loads[i], Index: len(out) - 1, Total: len(loads), Result: results[i]})
+				o.progress(ProgressEvent{Algorithm: alg, Pattern: disp, Load: loads[i], Index: len(out) - 1, Total: len(loads), Result: results[i]})
 			}
 			if results[i].Saturated {
 				saturated++

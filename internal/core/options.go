@@ -18,6 +18,7 @@ type runOptions struct {
 	collector       metrics.Collector
 	tracer          *obs.Tracer
 	progress        func(ProgressEvent)
+	source          sim.Source
 	shards          int
 	checkpointEvery int64
 	checkpointSink  func(snapshot []byte) error
@@ -82,6 +83,18 @@ func WithTrace(t *obs.Tracer) RunOption {
 // were scheduled — no synchronisation needed inside it.
 func WithProgress(fn func(ProgressEvent)) RunOption {
 	return func(o *runOptions) { o.progress = fn }
+}
+
+// WithSource installs src as the arrival process of every network the
+// call builds, overriding the workload's registry-built source. This is
+// the hook for programmatic sources the registry cannot express —
+// composite ones like workload.MultiTenant. The source must satisfy the
+// determinism and snapshot obligations documented on sim.Source; under
+// Sweep/SweepPool the same source value drives every load point, so a
+// stateful source should only be swept with one pool job (or a stateless
+// source used instead).
+func WithSource(src sim.Source) RunOption {
+	return func(o *runOptions) { o.source = src }
 }
 
 // WithShards partitions every network the call builds across n engine

@@ -32,6 +32,7 @@ func Names() []string {
 		"fig1", "table1", "fig2", "fig4", "fig6",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig14", "fig16",
 		"fig18", "fig19", "table2", "resilience", "transient", "topozoo",
+		"multitenant",
 	}
 }
 
@@ -115,6 +116,8 @@ func (r Runner) run(s Scale, name string) ([]Exhibit, error) {
 		return wrapFs(Resilience(s))
 	case "transient":
 		return wrapFs(Transient(s))
+	case "multitenant":
+		return wrapFs(MultiTenant(s))
 	case "topozoo":
 		t, err := TopoZoo(s)
 		if err != nil {

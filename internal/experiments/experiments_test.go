@@ -237,6 +237,45 @@ func TestScaleLoads(t *testing.T) {
 	}
 }
 
+func TestMultiTenantExhibit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiments")
+	}
+	figs, err := MultiTenant(Quick())
+	if err != nil {
+		t.Fatalf("MultiTenant: %v", err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("MultiTenant produced %d figures, want 2", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Series) != 3 {
+			t.Fatalf("%s has %d series, want 3 (alone, confined, spraying)", f.ID, len(f.Series))
+		}
+		for _, ser := range f.Series {
+			if len(ser.X) == 0 || len(ser.X) != len(ser.Y) {
+				t.Fatalf("%s series %s malformed: %d x, %d y", f.ID, ser.Name, len(ser.X), len(ser.Y))
+			}
+		}
+	}
+	// The baseline must carry real traffic, and sharing the machine with
+	// a machine-wide-spraying bursty tenant must not *improve* latency.
+	var b bytes.Buffer
+	figs[0].Render(&b)
+	if !strings.Contains(b.String(), "packet-weighted solo mix") {
+		t.Error("latency figure notes missing the interference accounting")
+	}
+	for _, ser := range figs[1].Series {
+		sum := 0.0
+		for _, y := range ser.Y {
+			sum += y
+		}
+		if sum <= 0 {
+			t.Errorf("throughput series %q accepted nothing", ser.Name)
+		}
+	}
+}
+
 func TestTransientExhibit(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiments")

@@ -12,6 +12,7 @@ import (
 	"dragonfly/internal/fault"
 	"dragonfly/internal/obs"
 	"dragonfly/internal/sim"
+	"dragonfly/internal/workload"
 )
 
 // worker pulls jobs off the queue until the server quits. Jobs already
@@ -133,7 +134,7 @@ func (s *Server) execute(ctx context.Context, job *Job) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	pat, err := core.ParsePattern(spec.Pattern)
+	wl, err := specWorkload(spec, sys.Topo.Nodes())
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +174,7 @@ func (s *Server) execute(ctx context.Context, job *Job) ([]byte, error) {
 		}
 		var win *liveWindows
 		if spec.Window > 0 {
-			probe, err := sys.NewNetwork(alg, pat)
+			probe, err := sys.NewNetworkFor(alg, wl)
 			if err != nil {
 				return nil, err
 			}
@@ -194,7 +195,7 @@ func (s *Server) execute(ctx context.Context, job *Job) ([]byte, error) {
 		var res sim.Result
 		var runErr error
 		if err := s.pool.WorkCtx(ctx, func() {
-			res, runErr = sys.Run(alg, pat, spec.Loads[0], rc, opts...)
+			res, runErr = sys.RunW(alg, wl, spec.Loads[0], rc, opts...)
 		}); err != nil {
 			return nil, fmt.Errorf("serve: canceled waiting for a simulation slot: %w", err)
 		}
@@ -210,7 +211,7 @@ func (s *Server) execute(ctx context.Context, job *Job) ([]byte, error) {
 		// SweepPool is a coordinator — it wraps its own leaf work in
 		// pool.Work — so it must not itself run under a pool slot.
 		// Completed points stream out as "point" events in load order.
-		pts, err := sys.SweepPool(s.pool, alg, pat, spec.Loads, rc, 2,
+		pts, err := sys.SweepPoolW(s.pool, alg, wl, spec.Loads, rc, 2,
 			core.WithContext(ctx),
 			core.WithProgress(func(ev core.ProgressEvent) {
 				job.publish(Event{Type: "point", Data: obs.Point{Load: ev.Load, Result: obs.MakeResult(ev.Result)}})
@@ -228,6 +229,34 @@ func (s *Server) execute(ctx context.Context, job *Job) ([]byte, error) {
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// specWorkload rebuilds the run's Workload from a canonical JobSpec.
+// Specs journaled before the workload redesign carry only the legacy
+// Pattern spelling (empty Traffic); they map through core.PatternWorkload
+// exactly as Normalize would have mapped them.
+func specWorkload(spec JobSpec, terminals int) (core.Workload, error) {
+	if spec.Traffic == "" {
+		pat, err := core.ParsePattern(spec.Pattern)
+		if err != nil {
+			return core.Workload{}, err
+		}
+		return core.PatternWorkload(pat), nil
+	}
+	wl := core.Workload{
+		Traffic:       spec.Traffic,
+		TrafficParams: spec.TrafficParams,
+		Source:        spec.Source,
+		SourceParams:  spec.SourceParams,
+	}
+	if spec.Source == "trace" {
+		tr, err := workload.ParseTrace([]byte(spec.Trace), terminals)
+		if err != nil {
+			return core.Workload{}, fmt.Errorf("serve: journaled trace no longer parses: %w", err)
+		}
+		wl.Trace = tr
+	}
+	return wl, nil
 }
 
 // liveWindows wraps obs.Windows to stream each window to the job's SSE

@@ -22,7 +22,7 @@ import (
 // re-runs the job from scratch), and mismatched journal lines are
 // quarantined on replay. Nothing ever attempts to read an
 // other-versioned encoding.
-const jobHashVersion = "dfly-job/2"
+const jobHashVersion = "dfly-job/3"
 
 // Hash returns the canonical job digest: a hex SHA-256 over a
 // line-oriented rendering of every result-affecting field, in a fixed
@@ -41,17 +41,26 @@ func (s JobSpec) Hash() string {
 	fmt.Fprintf(h, "%s\n", jobHashVersion)
 	fmt.Fprintf(h, "kind=%s\n", s.Kind)
 	fmt.Fprintf(h, "topology=%s\n", s.Family)
-	keys := make([]string, 0, len(s.Params))
-	for k := range s.Params {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
+	for _, k := range sortedKeys(s.Params) {
 		fmt.Fprintf(h, "param.%s=%d\n", k, s.Params[k])
 	}
 	fmt.Fprintf(h, "buf=%d\n", s.BufDepth)
 	fmt.Fprintf(h, "seed=%d\n", s.Seed)
-	fmt.Fprintf(h, "alg=%s\npattern=%s\n", s.Algorithm, s.Pattern)
+	fmt.Fprintf(h, "alg=%s\n", s.Algorithm)
+	// The traffic and workload halves hash by their canonical family +
+	// fully-defaulted params (dfly-job/3); the legacy pattern enum
+	// canonicalised into them at Normalize, and a trace enters by its
+	// content digest, so reformatted traces (comments, spacing) share a
+	// cache entry.
+	fmt.Fprintf(h, "traffic=%s\n", s.Traffic)
+	for _, k := range sortedKeys(s.TrafficParams) {
+		fmt.Fprintf(h, "tparam.%s=%d\n", k, s.TrafficParams[k])
+	}
+	fmt.Fprintf(h, "source=%s\n", s.Source)
+	for _, k := range sortedKeys(s.SourceParams) {
+		fmt.Fprintf(h, "sparam.%s=%d\n", k, s.SourceParams[k])
+	}
+	fmt.Fprintf(h, "trace=%016x\n", s.TraceHash)
 	for _, l := range s.Loads {
 		fmt.Fprintf(h, "load=%016x\n", math.Float64bits(l))
 	}
@@ -59,4 +68,15 @@ func (s JobSpec) Hash() string {
 	fmt.Fprintf(h, "timeline=%q\nfailseed=%d\n", s.Timeline, s.FailSeed)
 	fmt.Fprintf(h, "window=%d\n", s.Window)
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// sortedKeys returns a parameter map's keys in sorted order, so the
+// encoding never depends on map iteration.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -110,7 +110,7 @@ func TestNormalizeTopologyRejections(t *testing.T) {
 // deployment is invalidated, so the change must be deliberate and come
 // with a jobHashVersion bump.
 func TestHashGolden(t *testing.T) {
-	const want = "bd8eb1d3ebd78be7fafb0325f18b38167b2afc492536b0d8813febc18524b90f"
+	const want = "93ff8682c363f2e67fa715fd9923809556df5b63b1185c60dec04f279d1d147e"
 	got := mustHash(t, Submission{Kind: KindRun, Algorithm: "MIN", Pattern: "UR", Load: 0.1})
 	if got != want {
 		t.Errorf("golden job hash moved:\n got %s\nwant %s\n(bump jobHashVersion if the encoding changed deliberately)", got, want)
@@ -139,6 +139,21 @@ func TestHashFieldSensitivity(t *testing.T) {
 		"timeline":  func(s *Submission) { s.Timeline = "@100 fail global=0.1" },
 		"fail_seed": func(s *Submission) { s.Timeline = "@100 fail global=0.1"; s.FailSeed = 2 },
 		"window":    func(s *Submission) { s.Window = 100 },
+		"traffic": func(s *Submission) {
+			s.Pattern, s.Traffic = "", "hotspot"
+		},
+		"traffic_params": func(s *Submission) {
+			s.Pattern, s.Traffic = "", "hotspot"
+			s.TrafficParams = map[string]int{"hot": 2}
+		},
+		"workload": func(s *Submission) { s.Workload = "onoff" },
+		"workload_params": func(s *Submission) {
+			s.Workload = "onoff"
+			s.WorkloadParams = map[string]int{"on": 50}
+		},
+		"trace": func(s *Submission) {
+			s.Workload, s.Trace = "trace", "0 0 1 1\n"
+		},
 	}
 	for field, mutate := range mutations {
 		sub := baseSubmission()
@@ -156,6 +171,97 @@ func TestHashFieldSensitivity(t *testing.T) {
 	seeded.FailSeed = 2
 	if mustHash(t, tl) == mustHash(t, seeded) {
 		t.Error("fail_seed does not reach the job hash")
+	}
+	// The parameterised mutations must differ from their bare-family
+	// counterparts too, or the params never reached the digest.
+	bare := baseSubmission()
+	bare.Pattern, bare.Traffic = "", "hotspot"
+	par := baseSubmission()
+	par.Pattern, par.Traffic = "", "hotspot"
+	par.TrafficParams = map[string]int{"hot": 2}
+	if mustHash(t, bare) == mustHash(t, par) {
+		t.Error("traffic_params do not reach the job hash")
+	}
+	bw := baseSubmission()
+	bw.Workload = "onoff"
+	pw := baseSubmission()
+	pw.Workload = "onoff"
+	pw.WorkloadParams = map[string]int{"on": 50}
+	if mustHash(t, bw) == mustHash(t, pw) {
+		t.Error("workload_params do not reach the job hash")
+	}
+	// A trace hashes by content: different flows, different hash.
+	ta := baseSubmission()
+	ta.Workload, ta.Trace = "trace", "0 0 1 1\n"
+	tb := baseSubmission()
+	tb.Workload, tb.Trace = "trace", "0 0 1 2\n"
+	if mustHash(t, ta) == mustHash(t, tb) {
+		t.Error("trace content does not reach the job hash")
+	}
+}
+
+// TestHashWorkloadSpellingsCancelOut pins the dfly-job/3
+// canonicalisation: the legacy pattern enum and the registry family are
+// one cache entry, an explicit bernoulli workload is the default
+// spelled out, spelled-out schema defaults cancel, and a trace hashes
+// by its canonical flow content — comments and whitespace cancel.
+func TestHashWorkloadSpellingsCancelOut(t *testing.T) {
+	base := mustHash(t, Submission{Kind: KindRun, Algorithm: "MIN", Pattern: "UR", Load: 0.1})
+	for name, sub := range map[string]Submission{
+		"registry ur":        {Kind: KindRun, Algorithm: "MIN", Traffic: "ur", Load: 0.1},
+		"case-folded":        {Kind: KindRun, Algorithm: "MIN", Traffic: "UR", Load: 0.1},
+		"explicit bernoulli": {Kind: KindRun, Algorithm: "MIN", Pattern: "UR", Workload: "bernoulli", Load: 0.1},
+	} {
+		if got := mustHash(t, sub); got != base {
+			t.Errorf("%s hashes %s, legacy pattern %s: want one cache entry", name, got, base)
+		}
+	}
+	// Spelled-out workload schema defaults cancel against the bare family.
+	bare := Submission{Kind: KindRun, Algorithm: "MIN", Pattern: "UR", Workload: "onoff", Load: 0.1}
+	spelled := Submission{Kind: KindRun, Algorithm: "MIN", Pattern: "UR", Workload: "onoff",
+		WorkloadParams: map[string]int{"on": 100, "off": 300, "pareto": 0}, Load: 0.1}
+	if a, b := mustHash(t, bare), mustHash(t, spelled); a != b {
+		t.Errorf("defaulted onoff hashes %s, spelled-out %s: want equal", a, b)
+	}
+	// Trace reformatting cancels: same flows, different spelling.
+	ta := Submission{Kind: KindRun, Algorithm: "MIN", Pattern: "UR", Workload: "trace",
+		Trace: "0 0 1 1\n5 2 3 2\n", Load: 0.1}
+	tb := Submission{Kind: KindRun, Algorithm: "MIN", Pattern: "UR", Workload: "trace",
+		Trace: "# same flows\n0   0 1 1\n\n5\t2 3 2 # comment\n", Load: 0.1}
+	if a, b := mustHash(t, ta), mustHash(t, tb); a != b {
+		t.Errorf("reformatted trace hashes %s vs %s: want equal (content digest)", a, b)
+	}
+}
+
+// TestNormalizeWorkloadRejections: the workload stanza is validated as
+// deeply as the topology one.
+func TestNormalizeWorkloadRejections(t *testing.T) {
+	for name, mutate := range map[string]func(*Submission){
+		"pattern and traffic":      func(s *Submission) { s.Traffic = "ur" },
+		"unknown traffic":          func(s *Submission) { s.Pattern, s.Traffic = "", "chaos" },
+		"unknown traffic param":    func(s *Submission) { s.Pattern, s.Traffic = "", "hotspot"; s.TrafficParams = map[string]int{"heat": 3} },
+		"bad traffic param":        func(s *Submission) { s.Pattern, s.Traffic = "", "hotspot"; s.TrafficParams = map[string]int{"pct": 200} },
+		"traffic params w/o fam":   func(s *Submission) { s.TrafficParams = map[string]int{"hot": 1} },
+		"unknown workload":         func(s *Submission) { s.Workload = "burst" },
+		"unknown workload param":   func(s *Submission) { s.Workload = "onoff"; s.WorkloadParams = map[string]int{"dwell": 5} },
+		"bad workload param":       func(s *Submission) { s.Workload = "onoff"; s.WorkloadParams = map[string]int{"on": -1} },
+		"workload params w/o fam":  func(s *Submission) { s.WorkloadParams = map[string]int{"on": 50} },
+		"trace w/o trace workload": func(s *Submission) { s.Trace = "0 0 1 1\n" },
+		"trace w/ other workload":  func(s *Submission) { s.Workload = "onoff"; s.Trace = "0 0 1 1\n" },
+		"trace workload w/o trace": func(s *Submission) { s.Workload = "trace" },
+		"malformed trace":          func(s *Submission) { s.Workload = "trace"; s.Trace = "0 0 1\n" },
+	} {
+		sub := baseSubmission()
+		mutate(&sub)
+		if _, err := sub.Normalize(Limits{}); err == nil {
+			t.Errorf("%s: Normalize accepted %+v", name, sub)
+		}
+	}
+	// And the trace size limit bites.
+	sub := baseSubmission()
+	sub.Workload, sub.Trace = "trace", "0 0 1 1\n"
+	if _, err := sub.Normalize(Limits{MaxTraceBytes: 4}); err == nil {
+		t.Error("MaxTraceBytes did not reject an oversized trace")
 	}
 }
 

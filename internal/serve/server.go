@@ -35,6 +35,8 @@ import (
 
 	"dragonfly/internal/parallel"
 	"dragonfly/internal/topology"
+	"dragonfly/internal/traffic"
+	"dragonfly/internal/workload"
 )
 
 // Config parameterises a Server. Zero values take the stated defaults.
@@ -200,6 +202,7 @@ func Open(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	s.mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
+	s.mux.HandleFunc("GET /v1/traffic", s.handleTraffic)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
@@ -549,6 +552,40 @@ func (s *Server) handleTopologies(w http.ResponseWriter, r *http.Request) {
 		out[i] = TopologyInfo{Name: f.Name, Doc: f.Doc, Params: f.Params}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"topologies": out})
+}
+
+// TrafficInfo is one entry of the GET /v1/traffic listing: a registered
+// traffic-pattern family and its parameter schema, for the submission's
+// "traffic"/"traffic_params" stanza.
+type TrafficInfo struct {
+	Name   string              `json:"name"`
+	Doc    string              `json:"doc"`
+	Params []traffic.ParamSpec `json:"params"`
+}
+
+// WorkloadInfo is the arrival-process half of the listing, for the
+// "workload"/"workload_params" stanza.
+type WorkloadInfo struct {
+	Name   string               `json:"name"`
+	Doc    string               `json:"doc"`
+	Params []workload.ParamSpec `json:"params"`
+}
+
+// handleTraffic lists both halves of the workload registry: traffic
+// families (where packets go) and arrival-process families (when they
+// are offered), each with its parameter schema.
+func (s *Server) handleTraffic(w http.ResponseWriter, r *http.Request) {
+	tfams := traffic.Families()
+	tout := make([]TrafficInfo, len(tfams))
+	for i, f := range tfams {
+		tout[i] = TrafficInfo{Name: f.Name, Doc: f.Doc, Params: f.Params}
+	}
+	wfams := workload.Families()
+	wout := make([]WorkloadInfo, len(wfams))
+	for i, f := range wfams {
+		wout[i] = WorkloadInfo{Name: f.Name, Doc: f.Doc, Params: f.Params}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traffic": tout, "workloads": wout})
 }
 
 // handleHealth is the liveness probe: 200 for as long as the process

@@ -107,6 +107,97 @@ func getReport(t *testing.T, ts *httptest.Server, id string) []byte {
 	return buf.Bytes()
 }
 
+// TestSubmitWorkloadJobs runs the new workload stanza end to end: an
+// ON/OFF bursty run and a trace replay both complete and report, the
+// pattern label carries the arrival process, and an identical trace
+// submission (reformatted) answers from the cache.
+func TestSubmitWorkloadJobs(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+
+	onoff := tinySubmission()
+	onoff.Workload = "onoff"
+	onoff.WorkloadParams = map[string]int{"on": 20, "off": 60}
+	st, code := submit(t, ts, onoff)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit onoff: status %d, want 202", code)
+	}
+	if fin := waitTerminal(t, ts, st.ID); fin.State != StateDone {
+		t.Fatalf("onoff job finished %q: %s", fin.State, fin.Error)
+	} else if fin.Pattern != "UR+onoff" {
+		t.Errorf("onoff job pattern label %q, want %q", fin.Pattern, "UR+onoff")
+	}
+	getReport(t, ts, st.ID)
+
+	trace := tinySubmission()
+	trace.Workload = "trace"
+	trace.Trace = "0 0 5 3\n10 1 6 2\n"
+	st, code = submit(t, ts, trace)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit trace: status %d, want 202", code)
+	}
+	if fin := waitTerminal(t, ts, st.ID); fin.State != StateDone {
+		t.Fatalf("trace job finished %q: %s", fin.State, fin.Error)
+	}
+
+	// Reformatted trace, same flows: must answer from the cache.
+	again := tinySubmission()
+	again.Workload = "trace"
+	again.Trace = "# same\n0 0 5 3\n10  1 6 2\n"
+	st2, _ := submit(t, ts, again)
+	if st2.Hash != st.Hash {
+		t.Errorf("reformatted trace hashed %s, original %s: want one cache entry", st2.Hash, st.Hash)
+	}
+	if fin := waitTerminal(t, ts, st2.ID); !fin.Cached {
+		t.Errorf("reformatted trace re-simulated instead of hitting the cache")
+	}
+}
+
+// TestTrafficListing pins GET /v1/traffic: both registry halves are
+// listed with schemas, enough for a client to compose a submission.
+func TestTrafficListing(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	resp, err := ts.Client().Get(ts.URL + "/v1/traffic")
+	if err != nil {
+		t.Fatalf("GET /v1/traffic: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/traffic: status %d", resp.StatusCode)
+	}
+	var body struct {
+		Traffic   []TrafficInfo  `json:"traffic"`
+		Workloads []WorkloadInfo `json:"workloads"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	tnames := map[string]bool{}
+	for _, f := range body.Traffic {
+		tnames[f.Name] = true
+	}
+	for _, want := range []string{"ur", "wc", "hotspot", "perm"} {
+		if !tnames[want] {
+			t.Errorf("traffic listing is missing family %q", want)
+		}
+	}
+	wnames := map[string]bool{}
+	var onoffParams int
+	for _, f := range body.Workloads {
+		wnames[f.Name] = true
+		if f.Name == "onoff" {
+			onoffParams = len(f.Params)
+		}
+	}
+	for _, want := range []string{"bernoulli", "onoff", "drift", "collective", "trace"} {
+		if !wnames[want] {
+			t.Errorf("workload listing is missing family %q", want)
+		}
+	}
+	if onoffParams == 0 {
+		t.Error("onoff family listed without its parameter schema")
+	}
+}
+
 func TestSubmitRunToCompletion(t *testing.T) {
 	_, ts := testServer(t, Config{Workers: 2})
 	st, code := submit(t, ts, tinySubmission())

@@ -3,11 +3,14 @@ package serve
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"dragonfly/internal/core"
 	"dragonfly/internal/fault"
 	"dragonfly/internal/sim"
 	"dragonfly/internal/topology"
+	"dragonfly/internal/traffic"
+	"dragonfly/internal/workload"
 )
 
 // Job kinds.
@@ -29,7 +32,22 @@ type Submission struct {
 	// Algorithm and Pattern name a routing algorithm and traffic
 	// pattern (core.Algorithms / core.Patterns).
 	Algorithm string `json:"algorithm"`
-	Pattern   string `json:"pattern"`
+	Pattern   string `json:"pattern,omitempty"`
+	// Traffic selects a registry traffic family with parameters
+	// (GET /v1/traffic lists families and schemas), the general form of
+	// Pattern; the two are mutually exclusive, and a legacy Pattern
+	// canonicalises to its family before hashing, so {"pattern":"UR"}
+	// and {"traffic":"ur"} share one cache entry.
+	Traffic       string         `json:"traffic,omitempty"`
+	TrafficParams map[string]int `json:"traffic_params,omitempty"`
+	// Workload selects an arrival-process family driving injection
+	// ("bernoulli", "onoff", "drift", "collective", "trace"); empty is
+	// the Bernoulli default. Trace carries the flow-trace text (lines
+	// of "cycle src dst count") required by — and only by — workload
+	// "trace".
+	Workload       string         `json:"workload,omitempty"`
+	WorkloadParams map[string]int `json:"workload_params,omitempty"`
+	Trace          string         `json:"trace,omitempty"`
 	// Seed makes the run reproducible (default 1).
 	Seed uint64 `json:"seed,omitempty"`
 	// Shards partitions the engine (0 = serial). Results are
@@ -105,7 +123,26 @@ type JobSpec struct {
 	BufDepth  int
 	Seed      uint64
 	Algorithm string
-	Pattern   string
+	// Pattern is the display name of the traffic half (the submitted
+	// legacy spelling, or the canonical family name); the hash covers
+	// the canonical Traffic/TrafficParams below, never this.
+	Pattern string
+	// Traffic and TrafficParams are the canonical traffic description:
+	// the registry family (lower-case) plus its fully-defaulted
+	// parameter map, whichever spelling the submission used.
+	Traffic       string
+	TrafficParams map[string]int
+	// Source and SourceParams are the canonical arrival process; empty
+	// Source is the Bernoulli default (an explicit "bernoulli"
+	// canonicalises to empty, sharing its cache entry).
+	Source       string
+	SourceParams map[string]int
+	// Trace is the raw flow-trace text of a "trace" workload (journaled
+	// with the spec so recovery can rebuild the source); TraceHash is
+	// its content digest — the only part of the trace the job hash
+	// covers, stable across comment/whitespace reformatting.
+	Trace     string
+	TraceHash uint64
 	Loads     []float64
 	Warmup    int
 	Measure   int
@@ -181,10 +218,6 @@ func (sub Submission) Normalize(limits Limits) (JobSpec, error) {
 		return s, badRequest("%v", err)
 	}
 	s.Algorithm = sub.Algorithm
-	if _, err := core.ParsePattern(sub.Pattern); err != nil {
-		return s, badRequest("%v", err)
-	}
-	s.Pattern = sub.Pattern
 
 	s.Seed = sub.Seed
 	if s.Seed == 0 {
@@ -194,6 +227,87 @@ func (sub Submission) Normalize(limits Limits) (JobSpec, error) {
 		return s, badRequest("shards must be >= 0")
 	}
 	s.Shards = sub.Shards
+
+	// Traffic: the legacy pattern enum and the registry spelling both
+	// canonicalise to family + fully-defaulted params, so the hash is
+	// canonical over meaning here too. Building the pattern against the
+	// real machine is the validation.
+	tenv := traffic.Env{Terminals: topo.Nodes(), Grouped: topo, Seed: s.Seed}
+	switch {
+	case sub.Traffic != "":
+		if sub.Pattern != "" {
+			return s, badRequest("pattern %q and traffic %q are mutually exclusive; set one", sub.Pattern, sub.Traffic)
+		}
+		fam, params, err := canonFamily("traffic", sub.Traffic, sub.TrafficParams, traffic.FamilyNames(), trafficSchema)
+		if err != nil {
+			return s, badRequest("%v", err)
+		}
+		if _, err := traffic.Build(fam, tenv, params); err != nil {
+			return s, badRequest("%v", err)
+		}
+		s.Traffic, s.TrafficParams = fam, params
+		s.Pattern = fam
+	default:
+		if len(sub.TrafficParams) > 0 {
+			return s, badRequest(`"traffic_params" needs a "traffic" family`)
+		}
+		pat, err := core.ParsePattern(sub.Pattern)
+		if err != nil {
+			return s, badRequest("%v", err)
+		}
+		w := core.PatternWorkload(pat)
+		fam, params, err := canonFamily("traffic", w.Traffic, nil, traffic.FamilyNames(), trafficSchema)
+		if err != nil {
+			return s, badRequest("%v", err)
+		}
+		if _, err := traffic.Build(fam, tenv, params); err != nil {
+			return s, badRequest("%v", err)
+		}
+		s.Traffic, s.TrafficParams = fam, params
+		s.Pattern = sub.Pattern
+	}
+
+	// Workload: canonicalise the arrival process. An explicit
+	// "bernoulli" is the default spelled out, so it canonicalises to the
+	// empty Source and shares the legacy cache entries.
+	switch {
+	case sub.Workload != "":
+		fam, params, err := canonFamily("workload", sub.Workload, sub.WorkloadParams, workload.FamilyNames(), workloadSchema)
+		if err != nil {
+			return s, badRequest("%v", err)
+		}
+		wenv := workload.Env{Terminals: topo.Nodes(), Seed: s.Seed}
+		if fam == "trace" {
+			if sub.Trace == "" {
+				return s, badRequest(`workload "trace" needs the flow trace in "trace" (lines of "cycle src dst count")`)
+			}
+			if max := limits.MaxTraceBytes; max > 0 && len(sub.Trace) > max {
+				return s, badRequest("trace is %d bytes, over the server's limit of %d", len(sub.Trace), max)
+			}
+			tr, err := workload.ParseTrace([]byte(sub.Trace), topo.Nodes())
+			if err != nil {
+				return s, badRequest("%v", err)
+			}
+			wenv.Trace = tr
+			s.Trace, s.TraceHash = sub.Trace, tr.Hash()
+		} else if sub.Trace != "" {
+			return s, badRequest(`"trace" needs workload "trace", not %q`, fam)
+		}
+		if _, err := workload.Build(fam, wenv, params); err != nil {
+			return s, badRequest("%v", err)
+		}
+		if fam != "bernoulli" {
+			s.Source, s.SourceParams = fam, params
+			s.Pattern = s.Pattern + "+" + fam
+		}
+	default:
+		if len(sub.WorkloadParams) > 0 {
+			return s, badRequest(`"workload_params" needs a "workload" family`)
+		}
+		if sub.Trace != "" {
+			return s, badRequest(`"trace" needs workload "trace"`)
+		}
+	}
 
 	switch s.Kind {
 	case KindRun:
@@ -271,6 +385,79 @@ type Limits struct {
 	MaxSweepPoints int
 	// MaxCycles caps warmup+measure+drain (0 = unlimited).
 	MaxCycles int64
+	// MaxTraceBytes caps the flow-trace text of a "trace" workload
+	// (0 = unlimited; the request body cap still applies).
+	MaxTraceBytes int
+}
+
+// famSchema is the registry-agnostic view of one family's parameter
+// schema: just names and defaults, enough to canonicalise a submission
+// (the registries' own Build validates values afterwards).
+type famSchema struct {
+	name   string
+	params []schemaParam
+}
+
+type schemaParam struct {
+	name string
+	def  int
+}
+
+// trafficSchema adapts the traffic registry for canonFamily.
+func trafficSchema(name string) (famSchema, bool) {
+	f, ok := traffic.FamilyByName(name)
+	if !ok {
+		return famSchema{}, false
+	}
+	fs := famSchema{name: f.Name}
+	for _, p := range f.Params {
+		fs.params = append(fs.params, schemaParam{p.Name, p.Default})
+	}
+	return fs, true
+}
+
+// workloadSchema adapts the workload registry for canonFamily.
+func workloadSchema(name string) (famSchema, bool) {
+	f, ok := workload.FamilyByName(name)
+	if !ok {
+		return famSchema{}, false
+	}
+	fs := famSchema{name: f.Name}
+	for _, p := range f.Params {
+		fs.params = append(fs.params, schemaParam{p.Name, p.Default})
+	}
+	return fs, true
+}
+
+// canonFamily resolves a family spelling to its canonical (lower-case)
+// name and fully-defaulted parameter map: schema defaults first, the
+// submission's keys on top, unknown keys rejected. The fully-defaulted
+// map is what the job hash covers, so spelled-out defaults cancel out
+// exactly like the topology spelling does.
+func canonFamily(kind, name string, given map[string]int, names []string, lookup func(string) (famSchema, bool)) (string, map[string]int, error) {
+	f, ok := lookup(name)
+	if !ok {
+		return "", nil, fmt.Errorf("%s: unknown family %q (supported: %v)", kind, name, names)
+	}
+	full := make(map[string]int, len(f.params))
+	valid := make([]string, len(f.params))
+	for i, p := range f.params {
+		full[p.name] = p.def
+		valid[i] = p.name
+	}
+	var unknown []string
+	for k, v := range given {
+		if _, ok := full[k]; !ok {
+			unknown = append(unknown, k)
+			continue
+		}
+		full[k] = v
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return "", nil, fmt.Errorf("%s: family %q: unknown parameter(s) %v (valid: %v)", kind, f.name, unknown, valid)
+	}
+	return f.name, full, nil
 }
 
 // RequestError is a rejected request: a message plus the HTTP status it

@@ -34,11 +34,17 @@ type Network struct {
 	routers []Router
 	links   []link
 
-	termRNG []rng
+	termRNG []RNG
 	// termSeq numbers each terminal's injections; packet ids are
 	// terminal<<32 | seq, so id assignment is shard-local and identical
 	// for every shard count.
 	termSeq []uint64
+
+	// source is the arrival process (never nil; Bernoulli by default).
+	// srcGated caches the loadGated capability so the zero-load
+	// injection fast path costs one bool test, not a type assertion.
+	source   Source
+	srcGated bool
 
 	// Engine shards: the partition of routers/terminals/arena state
 	// (always at least one), the router→shard map, the prebuilt phase
@@ -170,10 +176,12 @@ func New(topo Topology, cfg Config, routing Routing, traffic Traffic) (*Network,
 		l := &n.links[i]
 		n.routers[l.dst].inLink[l.dstPort] = int32(i)
 	}
-	n.termRNG = make([]rng, topo.Terminals())
+	n.termRNG = make([]RNG, topo.Terminals())
 	for t := range n.termRNG {
-		n.termRNG[t] = newRNG(cfg.Seed, uint64(t))
+		n.termRNG[t] = NewRNG(cfg.Seed, uint64(t))
 	}
+	n.source = bernoulli{}
+	n.srcGated = true
 	n.termSeq = make([]uint64, topo.Terminals())
 	n.termAlive = make([]bool, topo.Terminals())
 	for t := range n.termAlive {
@@ -235,9 +243,36 @@ func (n *Network) Topology() Topology { return n.topo }
 // use it for remote (UGAL-G) or local congestion queries.
 func (n *Network) RouterAt(id int) *Router { return &n.routers[id] }
 
-// SetLoad sets the Bernoulli injection probability per terminal per
-// cycle, in flits (load 1.0 = every terminal injects every cycle).
+// SetLoad sets the offered load scalar per terminal per cycle, in
+// flits (load 1.0 = every terminal injects every cycle). The installed
+// Source interprets it: the default Bernoulli source injects with this
+// probability each cycle, bursty sources modulate it, trace replay
+// ignores it.
 func (n *Network) SetLoad(load float64) { n.load = load }
+
+// Source returns the installed arrival process (never nil).
+func (n *Network) Source() Source { return n.source }
+
+// SetSource installs s as the arrival process for every terminal. It
+// must be called before the first Step — source state is part of the
+// snapshot fingerprint, and swapping processes mid-run would make the
+// run irreproducible. A nil s restores the default Bernoulli source.
+func (n *Network) SetSource(s Source) error {
+	if n.now != 0 {
+		return fmt.Errorf("sim: SetSource after the simulation started (cycle %d)", n.now)
+	}
+	if s == nil {
+		s = bernoulli{}
+	}
+	if w := s.StateWords(); w < 0 || w > maxSourceStateWords {
+		return &ConfigError{Param: "Source", Value: s.Name(),
+			Reason: fmt.Sprintf("StateWords %d outside [0, %d]", w, maxSourceStateWords)}
+	}
+	n.source = s
+	g, ok := s.(loadGated)
+	n.srcGated = ok && g.LoadGated()
+	return nil
+}
 
 // AttachMetrics installs c as the instrumentation sink; nil detaches it
 // and restores the zero-cost path. The previous collector is returned so
@@ -514,16 +549,22 @@ func (n *Network) drop(sh *shard, r *Router, ref int32) {
 	sh.ar.release(ref)
 }
 
-// inject performs the Bernoulli injection process at the shard's
-// terminals.
+// inject runs the arrival process at the shard's terminals: the Source
+// decides whether a packet is offered (one gate decision per terminal
+// per cycle, drawing from the terminal's own RNG stream), and either
+// forces the destination or defers it to the traffic pattern. With the
+// default Bernoulli source the draw sequence — gate, per-packet seed,
+// destination — is exactly the pre-Source engine's, which is what keeps
+// the legacy golden hashes pinned.
 func (n *Network) inject(sh *shard) {
-	if n.load <= 0 {
+	if n.load <= 0 && n.srcGated {
 		return
 	}
 	for _, t32 := range sh.terms {
 		t := int(t32)
 		r := &n.termRNG[t]
-		if r.Float64() >= n.load {
+		fire, fdst := n.source.Arrive(t, n.now, n.load, r)
+		if !fire {
 			continue
 		}
 		if !n.termAlive[t] {
@@ -534,7 +575,11 @@ func (n *Network) inject(sh *shard) {
 		n.termSeq[t]++
 		sh.ar.seed[ref] = r.Next()
 		sh.ar.src[ref] = int32(t)
-		sh.ar.dst[ref] = int32(n.traffic.Dest(t, r.Next()))
+		if fdst >= 0 {
+			sh.ar.dst[ref] = int32(fdst)
+		} else {
+			sh.ar.dst[ref] = int32(n.traffic.Dest(t, r.Next()))
+		}
 		sh.ar.create[ref] = n.now
 		sh.ar.interGrp[ref] = -1
 		sh.ar.inPort[ref] = -1

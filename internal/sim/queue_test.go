@@ -167,8 +167,8 @@ func TestEwma(t *testing.T) {
 func TestRNGStreamsDiffer(t *testing.T) {
 	// Neighbouring streams must not replay each other's sequences with a
 	// fixed shift — the bug class that synchronised the whole network.
-	a := newRNG(1, 10)
-	b := newRNG(1, 11)
+	a := NewRNG(1, 10)
+	b := NewRNG(1, 11)
 	aVals := make([]uint64, 32)
 	bVals := make([]uint64, 32)
 	for i := range aVals {
@@ -189,7 +189,7 @@ func TestRNGStreamsDiffer(t *testing.T) {
 }
 
 func TestRNGIntnAndFloat64Ranges(t *testing.T) {
-	r := newRNG(7, 3)
+	r := NewRNG(7, 3)
 	for i := 0; i < 10000; i++ {
 		if v := r.Intn(13); v < 0 || v >= 13 {
 			t.Fatalf("Intn out of range: %d", v)

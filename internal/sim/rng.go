@@ -1,22 +1,22 @@
 package sim
 
-// rng is a SplitMix64 pseudo-random generator: tiny, fast, and
+// RNG is a SplitMix64 pseudo-random generator: tiny, fast, and
 // deterministic across platforms. Every terminal owns one, so simulation
 // results are reproducible for a given Config.Seed regardless of
 // iteration order, and packets carry a seed of their own so routing
 // choices (intermediate groups, slot selection) are a pure function of
 // the packet.
-type rng struct{ state uint64 }
+type RNG struct{ state uint64 }
 
-// newRNG seeds a generator. The stream id is passed through two full
+// NewRNG seeds a generator. The stream id is passed through two full
 // mixing rounds before it touches the state: distinct streams must land
 // at effectively random offsets of the SplitMix64 sequence. (A linear
 // state offset like state = seed + gamma*stream makes stream t+1 replay
 // stream t's outputs shifted by one step — neighbouring terminals would
 // inject identical destination sequences one cycle apart, which
 // synchronises the whole network.)
-func newRNG(seed, stream uint64) rng {
-	return rng{state: DeriveSeed(seed, stream)}
+func NewRNG(seed, stream uint64) RNG {
+	return RNG{state: DeriveSeed(seed, stream)}
 }
 
 // DeriveSeed folds the given parts into base, producing a seed that is a
@@ -36,7 +36,7 @@ func DeriveSeed(base uint64, parts ...uint64) uint64 {
 }
 
 // Next returns the next 64-bit value.
-func (r *rng) Next() uint64 {
+func (r *RNG) Next() uint64 {
 	r.state += 0x9e3779b97f4a7c15
 	z := r.state
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
@@ -45,12 +45,12 @@ func (r *rng) Next() uint64 {
 }
 
 // Intn returns a value in [0, n). n must be positive.
-func (r *rng) Intn(n int) int {
+func (r *RNG) Intn(n int) int {
 	return int(r.Next() % uint64(n))
 }
 
 // Float64 returns a value in [0, 1).
-func (r *rng) Float64() float64 {
+func (r *RNG) Float64() float64 {
 	return float64(r.Next()>>11) / float64(1<<53)
 }
 

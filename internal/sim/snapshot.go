@@ -102,7 +102,7 @@ func (n *Network) snapshotSizeHint() int {
 		r := &n.routers[0]
 		perRouter = r.radix*(4+8+8+12) + r.radix*r.vcs*(8+3*4)
 	}
-	return 256 + 17*len(n.termRNG) + perRouter*len(n.routers) +
+	return 256 + (17+8*n.source.StateWords())*len(n.termRNG) + perRouter*len(n.routers) +
 		24*len(n.links) + (packetWire+4)*n.totalInFlight()
 }
 
@@ -201,6 +201,11 @@ func (n *Network) fingerprint() uint64 {
 	h.Write([]byte{0})
 	h.Write([]byte(n.traffic.Name()))
 	h.Write([]byte{0})
+	// The source fingerprint (family + canonical parameters) guards the
+	// per-terminal source-state section: a resume under a differently-
+	// configured arrival process is refused, not silently diverged.
+	h.Write([]byte(n.source.Fingerprint()))
+	h.Write([]byte{0})
 	for i := range n.links {
 		l := &n.links[i]
 		put(uint64(l.src), uint64(l.srcPort), uint64(l.dst), uint64(l.dstPort), uint64(l.latency), b1(l.global))
@@ -276,6 +281,21 @@ func (n *Network) appendNetwork(b []byte) []byte {
 		b = appendBool(b, n.termAlive[t])
 	}
 	b = binary.LittleEndian.AppendUint32(b, uint32(n.aliveTerms))
+
+	// Arrival-process state: the per-terminal word count, then each
+	// terminal's words. The source identity itself is covered by the
+	// fingerprint, so a mismatched word count here means corruption.
+	words := n.source.StateWords()
+	b = binary.LittleEndian.AppendUint32(b, uint32(words))
+	if words > 0 {
+		var buf [maxSourceStateWords]uint64
+		for t := range n.termRNG {
+			n.source.SaveState(t, buf[:words])
+			for _, w := range buf[:words] {
+				b = binary.LittleEndian.AppendUint64(b, w)
+			}
+		}
+	}
 
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(n.routers)))
 	for ri := range n.routers {
@@ -393,6 +413,29 @@ func (n *Network) decodeNetwork(d *snapDec) error {
 		return d.err
 	}
 	n.aliveTerms = alive
+
+	words := n.source.StateWords()
+	if got := int(d.u32()); d.err == nil && got != words {
+		d.fail("source state is %d words/terminal, the installed %q source holds %d", got, n.source.Name(), words)
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if words > 0 {
+		var buf [maxSourceStateWords]uint64
+		for t := range n.termRNG {
+			for i := 0; i < words; i++ {
+				buf[i] = d.u64()
+			}
+			if d.err != nil {
+				return d.err
+			}
+			if err := n.source.LoadState(t, buf[:words]); err != nil {
+				d.fail("source state for terminal %d: %v", t, err)
+				return d.err
+			}
+		}
+	}
 
 	if got := int(d.u32()); d.err == nil && got != len(n.routers) {
 		d.fail("router count %d, network has %d", got, len(n.routers))

@@ -1,0 +1,92 @@
+package sim
+
+// Source is the per-terminal arrival process: it decides, each cycle,
+// whether a terminal offers a packet and (optionally) where that packet
+// goes. The engine consults the Source before the traffic pattern —
+// generalising the original design where injection was a single
+// Bernoulli draw against one load scalar — and the built-in Bernoulli
+// source reproduces that original draw sequence bit for bit.
+//
+// Determinism and snapshot obligations (see DESIGN.md §9):
+//
+//   - Arrive must be a pure function of (t, now, load, the terminal's
+//     RNG stream, and the source's own per-terminal state). It may
+//     consume draws from r — they come from the terminal's snapshot-
+//     encoded stream, so replay is exact — but must not read any other
+//     mutable state, must not allocate on the steady path, and must be
+//     safe for concurrent calls on *distinct* terminals (the sharded
+//     engine injects shards in parallel; per-terminal state is fine,
+//     shared mutable state is not).
+//   - All mutable per-terminal state must round-trip through
+//     StateWords/SaveState/LoadState as fixed-width uint64 words: a
+//     restored source continues exactly where the snapshot left off, so
+//     resume ≡ uninterrupted holds for every source, not just Bernoulli.
+//   - Fingerprint must canonically encode the source's identity and
+//     parameters. It is folded into the snapshot fingerprint, so a
+//     resume under a differently-configured source is refused with
+//     ErrBadSnapshot instead of silently diverging.
+type Source interface {
+	// Name identifies the source family ("bernoulli", "onoff", ...).
+	Name() string
+	// Fingerprint canonically encodes the source and its parameters for
+	// the snapshot compatibility check. Equal fingerprints must imply
+	// identical arrival behaviour.
+	Fingerprint() string
+	// Arrive reports whether terminal t offers a packet at cycle now.
+	// dst >= 0 forces the destination (trace replay, collectives,
+	// tenant-confined traffic); dst < 0 defers to the network's traffic
+	// pattern, which then consumes its own draw from r exactly as the
+	// legacy path did.
+	Arrive(t int, now int64, load float64, r *RNG) (fire bool, dst int)
+	// StateWords is the fixed number of uint64 state words per terminal
+	// (0 for stateless sources). It must not change over a source's
+	// lifetime.
+	StateWords() int
+	// SaveState serialises terminal t's state into out, which has
+	// exactly StateWords entries.
+	SaveState(t int, out []uint64)
+	// LoadState restores terminal t's state from in (StateWords
+	// entries), validating ranges: a corrupt snapshot must surface an
+	// error here, never a later panic.
+	LoadState(t int, in []uint64) error
+}
+
+// maxSourceStateWords bounds a Source's per-terminal state (checked by
+// SetSource). The snapshot codec stack-allocates its transfer buffer at
+// this size, and the bound keeps a hostile snapshot's declared word
+// count from driving decode cost — the decoder refuses anything that
+// disagrees with the installed source before reading a single word.
+const maxSourceStateWords = 8
+
+// loadGated is the optional capability of sources that are silenced
+// entirely by a non-positive load. The engine skips the whole injection
+// walk (consuming no RNG draws) when the source is gated and load <= 0 —
+// the legacy fast path. Sources that inject regardless of the load
+// scalar (trace replay) simply don't implement it.
+type loadGated interface{ LoadGated() bool }
+
+// bernoulli is the default source: one gate draw per terminal per
+// cycle against the load scalar, destination deferred to the traffic
+// pattern. Its draw sequence is exactly the pre-Source engine's.
+type bernoulli struct{}
+
+// DefaultSource returns the Bernoulli arrival process every Network
+// starts with: inject with probability load each cycle, destination
+// from the traffic pattern.
+func DefaultSource() Source { return bernoulli{} }
+
+func (bernoulli) Name() string        { return "bernoulli" }
+func (bernoulli) Fingerprint() string { return "bernoulli" }
+func (bernoulli) LoadGated() bool     { return true }
+func (bernoulli) StateWords() int     { return 0 }
+
+func (bernoulli) Arrive(t int, now int64, load float64, r *RNG) (bool, int) {
+	if r.Float64() >= load {
+		return false, -1
+	}
+	return true, -1
+}
+
+func (bernoulli) SaveState(int, []uint64) {}
+
+func (bernoulli) LoadState(int, []uint64) error { return nil }

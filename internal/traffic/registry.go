@@ -1,0 +1,209 @@
+package traffic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pattern is what the registry builds: the engine's traffic contract (a
+// destination map over terminals) plus the name that identifies the
+// pattern in snapshots and reports. Every concrete pattern in this
+// package implements it.
+type Pattern interface {
+	Name() string
+	Dest(src int, rand uint64) int
+}
+
+// Env carries the machine context a pattern is built against. Unlike
+// topology parameters, several patterns are functions of the machine
+// itself (group structure, terminal count), so Build takes the context
+// out of band and the parameter map stays pure integers — same shape,
+// same spelling rules, same error contract as topology.Build.
+type Env struct {
+	// Terminals is the terminal count (required, > 0).
+	Terminals int
+	// Grouped is the group-structure view, required by the
+	// group-relative families (wc, groupoffset, tornado); nil otherwise.
+	Grouped Grouped
+	// Seed feeds the seeded families (perm).
+	Seed uint64
+}
+
+// ParamSpec describes one integer parameter of a traffic family,
+// mirroring topology.ParamSpec.
+type ParamSpec struct {
+	// Name is the parameter key accepted by Family.Build.
+	Name string `json:"name"`
+	// Doc is a one-line description.
+	Doc string `json:"doc"`
+	// Default is the value used when the key is omitted.
+	Default int `json:"default"`
+}
+
+// Family is one registered traffic pattern family.
+type Family struct {
+	// Name is the registry key ("ur", "wc", "hotspot", ...), always
+	// lower-case; lookups fold case so legacy spellings ("UR") resolve.
+	Name string
+	// Doc is a one-line description of the family.
+	Doc string
+	// Params is the parameter schema, in canonical order.
+	Params []ParamSpec
+	// Build constructs the pattern from a complete parameter map (every
+	// key of Params present; the package-level Build applies defaults).
+	Build func(env Env, params map[string]int) (Pattern, error)
+}
+
+// families is the registry, in listing order. The constructors are the
+// same ones the pre-registry enum path called, so a registry-built
+// pattern is the enum-built pattern — bit for bit (golden-pinned in
+// internal/core).
+var families = []Family{
+	{
+		Name: "ur",
+		Doc:  "uniform random: every packet to a uniformly chosen other terminal (benign baseline, Figure 8(a))",
+		Build: func(env Env, _ map[string]int) (Pattern, error) {
+			return NewUniformRandom(env.Terminals), nil
+		},
+	},
+	{
+		Name: "wc",
+		Doc:  "dragonfly worst case: group G_i sends to random nodes of G_i+1, funnelling each group through one global channel (Figure 8(b))",
+		Build: func(env Env, _ map[string]int) (Pattern, error) {
+			if env.Grouped == nil {
+				return nil, fmt.Errorf("traffic: family \"wc\" needs a grouped machine")
+			}
+			return NewWorstCase(env.Grouped), nil
+		},
+	},
+	{
+		Name: "groupoffset",
+		Doc:  "group G_i sends to random nodes of G_i+offset (offset 1 = worst case, g/2 = tornado)",
+		Params: []ParamSpec{
+			{Name: "offset", Doc: "group displacement; must not be a multiple of the group count", Default: 1},
+		},
+		Build: func(env Env, p map[string]int) (Pattern, error) {
+			if env.Grouped == nil {
+				return nil, fmt.Errorf("traffic: family \"groupoffset\" needs a grouped machine")
+			}
+			return NewGroupOffset(env.Grouped, p["offset"])
+		},
+	},
+	{
+		Name: "tornado",
+		Doc:  "group-level tornado: group G_i sends to random nodes of G_i+g/2",
+		Build: func(env Env, _ map[string]int) (Pattern, error) {
+			if env.Grouped == nil {
+				return nil, fmt.Errorf("traffic: family \"tornado\" needs a grouped machine")
+			}
+			return NewGroupOffset(env.Grouped, env.Grouped.Groups()/2)
+		},
+	},
+	{
+		Name: "bitcomp",
+		Doc:  "bit complement: terminal i sends to terminal N-1-i",
+		Build: func(env Env, _ map[string]int) (Pattern, error) {
+			return NewBitComplement(env.Terminals), nil
+		},
+	},
+	{
+		Name: "transpose",
+		Doc:  "matrix transpose permutation; needs a square terminal count",
+		Build: func(env Env, _ map[string]int) (Pattern, error) {
+			return NewTranspose(env.Terminals)
+		},
+	},
+	{
+		Name: "hotspot",
+		Doc:  "a fraction of packets target a small, evenly spaced set of hot terminals; the rest go uniform random",
+		Params: []ParamSpec{
+			{Name: "hot", Doc: "number of hot terminals, spread evenly over the machine", Default: 1},
+			{Name: "pct", Doc: "percentage of packets aimed at the hot set, in [0,100]", Default: 10},
+		},
+		Build: func(env Env, p map[string]int) (Pattern, error) {
+			k := p["hot"]
+			if k < 1 || k > env.Terminals {
+				return nil, fmt.Errorf("traffic: hotspot hot=%d out of [1,%d]", k, env.Terminals)
+			}
+			if p["pct"] < 0 || p["pct"] > 100 {
+				return nil, fmt.Errorf("traffic: hotspot pct=%d out of [0,100]", p["pct"])
+			}
+			hot := make([]int, k)
+			for i := range hot {
+				hot[i] = i * env.Terminals / k
+			}
+			return NewHotSpot(env.Terminals, hot, float64(p["pct"])/100)
+		},
+	},
+	{
+		Name: "perm",
+		Doc:  "fixed random permutation of terminals, drawn once from the system seed",
+		Build: func(env Env, _ map[string]int) (Pattern, error) {
+			return NewPermutation(env.Terminals, env.Seed), nil
+		},
+	},
+}
+
+// Families returns the registered traffic families in listing order.
+func Families() []Family {
+	out := make([]Family, len(families))
+	copy(out, families)
+	return out
+}
+
+// FamilyNames returns the registered family names in order.
+func FamilyNames() []string {
+	names := make([]string, len(families))
+	for i, f := range families {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// FamilyByName looks up a registered family. Lookup is case-insensitive
+// so the legacy enum spellings ("UR", "WC") resolve to their families.
+func FamilyByName(name string) (Family, bool) {
+	name = strings.ToLower(name)
+	for _, f := range families {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Family{}, false
+}
+
+// Build constructs a pattern of the named family from a (possibly
+// partial) parameter map: omitted keys take the schema defaults,
+// unknown keys are rejected with the valid set in the error. A nil map
+// builds the family's default configuration.
+func Build(family string, env Env, params map[string]int) (Pattern, error) {
+	f, ok := FamilyByName(family)
+	if !ok {
+		return nil, fmt.Errorf("traffic: unknown family %q (supported: %v)", family, FamilyNames())
+	}
+	if env.Terminals <= 0 {
+		return nil, fmt.Errorf("traffic: family %q: terminal count %d must be positive", f.Name, env.Terminals)
+	}
+	full := make(map[string]int, len(f.Params))
+	for _, p := range f.Params {
+		full[p.Name] = p.Default
+	}
+	var unknown []string
+	for k, v := range params {
+		if _, ok := full[k]; !ok {
+			unknown = append(unknown, k)
+			continue
+		}
+		full[k] = v
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		valid := make([]string, len(f.Params))
+		for i, p := range f.Params {
+			valid[i] = p.Name
+		}
+		return nil, fmt.Errorf("traffic: family %q: unknown parameter(s) %v (valid: %v)", f.Name, unknown, valid)
+	}
+	return f.Build(env, full)
+}

@@ -173,14 +173,28 @@ func (*HotSpot) Name() string { return "HotSpot" }
 
 // Dest implements sim.Traffic.
 func (h *HotSpot) Dest(src int, rand uint64) int {
-	// Split the random value: low bits select hot-vs-uniform, high bits
-	// select the destination.
-	sel := float64(rand&0xffff) / 65536.0
-	r := rand >> 16
+	// Two decisions need randomness but only one draw arrives, so split
+	// it the way the engine's RNG discipline prescribes: the selection
+	// uses the draw's full 53-bit float precision (a 16-bit slice biases
+	// both decisions once N or len(Hot) stops dividing 2^16), and the
+	// destination choice uses an independent value derived by the
+	// SplitMix64 finalizer.
+	sel := float64(rand>>11) / float64(1<<53)
+	r := mix64(rand)
 	if sel < h.Fraction {
 		return h.Hot[int(r%uint64(len(h.Hot)))]
 	}
 	return h.uniform.Dest(src, r)
+}
+
+// mix64 is the SplitMix64 finalizer (the same hash sim.Mix exports),
+// used to derive a second independent value from one draw without the
+// traffic layer depending on the engine package.
+func mix64(v uint64) uint64 {
+	v += 0x9e3779b97f4a7c15
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	return v ^ (v >> 31)
 }
 
 // Permutation applies a fixed random permutation of terminals, drawn

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dragonfly/internal/sim"
+)
+
+// Collective operation schedules.
+const (
+	// OpRing models a ring all-reduce: every terminal streams to its
+	// ring successor in every phase (reduce-scatter and all-gather both
+	// walk the same ring).
+	OpRing = 0
+	// OpTree models recursive doubling: in phase s each terminal
+	// exchanges with its partner t XOR 2^(s mod ceil(log2 N)); partners
+	// beyond the terminal count sit the phase out.
+	OpTree = 1
+	// OpAllToAll models a rotating all-to-all personalization: phase k
+	// pairs terminal t with (t + 1 + k mod (N-1)) mod N, so over N-1
+	// phases every terminal addresses every other exactly once.
+	OpAllToAll = 2
+)
+
+// Collective is a phased collective-communication workload: time is
+// sliced into fixed-length phases, and within a phase every terminal
+// offers packets (at the load scalar's Bernoulli intensity) to the one
+// partner its schedule assigns it. The partner is a pure function of
+// (terminal, phase), so the source is stateless, snapshot-free, and
+// identical across shard counts. Destinations are forced — the traffic
+// pattern is bypassed for collective packets.
+type Collective struct {
+	terminals int
+	op        int
+	phaselen  int64
+	steps     int // recursive-doubling rounds: ceil(log2(terminals))
+}
+
+// NewCollective builds a collective-phase source.
+func NewCollective(terminals, op, phaselen int) (*Collective, error) {
+	if op != OpRing && op != OpTree && op != OpAllToAll {
+		return nil, fmt.Errorf("workload: collective op=%d is not 0 (ring), 1 (tree) or 2 (all-to-all)", op)
+	}
+	if phaselen < 1 {
+		return nil, fmt.Errorf("workload: collective phaselen=%d must be >= 1 cycle", phaselen)
+	}
+	steps := bits.Len(uint(terminals - 1))
+	if steps == 0 {
+		steps = 1
+	}
+	return &Collective{terminals: terminals, op: op, phaselen: int64(phaselen), steps: steps}, nil
+}
+
+// Name implements sim.Source.
+func (s *Collective) Name() string { return "collective" }
+
+// Fingerprint implements sim.Source.
+func (s *Collective) Fingerprint() string {
+	return fmt.Sprintf("collective op=%d phaselen=%d", s.op, s.phaselen)
+}
+
+// LoadGated implements the engine's zero-load fast path.
+func (s *Collective) LoadGated() bool { return true }
+
+// Arrive implements sim.Source.
+func (s *Collective) Arrive(t int, now int64, load float64, r *sim.RNG) (bool, int) {
+	if r.Float64() >= load {
+		return false, -1
+	}
+	p := s.partner(t, now/s.phaselen)
+	if p < 0 {
+		return false, -1 // this terminal sits the phase out
+	}
+	return true, p
+}
+
+// partner returns terminal t's peer in the given phase, or -1 when it
+// idles.
+func (s *Collective) partner(t int, phase int64) int {
+	n := s.terminals
+	if n < 2 {
+		return -1
+	}
+	switch s.op {
+	case OpRing:
+		return (t + 1) % n
+	case OpTree:
+		p := t ^ (1 << (int(phase) % s.steps))
+		if p >= n {
+			return -1
+		}
+		return p
+	default: // OpAllToAll
+		return (t + 1 + int(phase%int64(n-1))) % n
+	}
+}
+
+// StateWords implements sim.Source (stateless).
+func (s *Collective) StateWords() int { return 0 }
+
+// SaveState implements sim.Source.
+func (s *Collective) SaveState(int, []uint64) {}
+
+// LoadState implements sim.Source.
+func (s *Collective) LoadState(int, []uint64) error { return nil }

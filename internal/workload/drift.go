@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"fmt"
+
+	"dragonfly/internal/sim"
+)
+
+// Drift is a time-drifting hot-spot: a contiguous block of hot
+// terminals that relocates to a new pseudo-random position every
+// period cycles. A configured percentage of offered packets is aimed
+// at a uniformly chosen member of the current hot set; the rest defer
+// to the network's traffic pattern. Unlike the static hotspot traffic
+// family, the congestion point moves during the run, which exercises
+// adaptive routing's ability to re-converge — and unlike a Source with
+// per-terminal state, the hot set is a pure function of the cycle, so
+// Drift is stateless and snapshots for free.
+type Drift struct {
+	terminals int
+	hot       int
+	pct       int
+	period    int64
+	fraction  float64
+}
+
+// NewDrift builds a drifting hot-spot source.
+func NewDrift(terminals, hot, pct, period int) (*Drift, error) {
+	if hot < 1 || hot > terminals {
+		return nil, fmt.Errorf("workload: drift hot=%d out of [1,%d]", hot, terminals)
+	}
+	if pct < 0 || pct > 100 {
+		return nil, fmt.Errorf("workload: drift pct=%d out of [0,100]", pct)
+	}
+	if period < 1 {
+		return nil, fmt.Errorf("workload: drift period=%d must be >= 1 cycle", period)
+	}
+	return &Drift{
+		terminals: terminals,
+		hot:       hot,
+		pct:       pct,
+		period:    int64(period),
+		fraction:  float64(pct) / 100,
+	}, nil
+}
+
+// Name implements sim.Source.
+func (s *Drift) Name() string { return "drift" }
+
+// Fingerprint implements sim.Source.
+func (s *Drift) Fingerprint() string {
+	return fmt.Sprintf("drift hot=%d pct=%d period=%d", s.hot, s.pct, s.period)
+}
+
+// LoadGated implements the engine's zero-load fast path.
+func (s *Drift) LoadGated() bool { return true }
+
+// Arrive implements sim.Source: one gate draw against the load scalar,
+// one selection draw (hot vs pattern), and — for hot packets — one
+// member draw, all from the terminal's stream per the one-draw-per-
+// decision RNG discipline.
+func (s *Drift) Arrive(t int, now int64, load float64, r *sim.RNG) (bool, int) {
+	if r.Float64() >= load {
+		return false, -1
+	}
+	if r.Float64() >= s.fraction {
+		return true, -1 // cold packet: the traffic pattern picks the destination
+	}
+	// The hot block's position is a hash of the drift epoch: every
+	// period cycles it jumps somewhere new, identically for every
+	// terminal and every shard count.
+	root := int(sim.Mix(uint64(now/s.period)) % uint64(s.terminals))
+	return true, (root + r.Intn(s.hot)) % s.terminals
+}
+
+// StateWords implements sim.Source (stateless).
+func (s *Drift) StateWords() int { return 0 }
+
+// SaveState implements sim.Source.
+func (s *Drift) SaveState(int, []uint64) {}
+
+// LoadState implements sim.Source.
+func (s *Drift) LoadState(int, []uint64) error { return nil }

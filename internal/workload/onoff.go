@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"dragonfly/internal/sim"
+)
+
+// maxDwell caps a drawn dwell time. The Pareto tail is heavy enough to
+// produce astronomically long phases at low probability; capping keeps
+// every run's burst structure observable within realistic cycle budgets
+// without measurably moving the mean.
+const maxDwell = 1 << 20
+
+// OnOff is a two-state bursty arrival process: each terminal
+// alternates independently between an ON phase, during which it offers
+// packets at an elevated rate, and a silent OFF phase. Dwell times are
+// drawn from the terminal's own RNG stream — exponential or Pareto
+// (alpha = 1.5, heavy-tailed) around the configured means — so the
+// burst structure is deterministic per seed and survives snapshots.
+// The ON-phase rate is load*(on+off)/on (capped at 1), which keeps the
+// long-run offered load equal to the load scalar: sweeps and
+// saturation thresholds stay comparable with Bernoulli runs of the
+// same load.
+type OnOff struct {
+	onMean, offMean int
+	pareto          bool
+	scale           float64 // (on+off)/on, the ON-phase load multiplier
+	// state holds two words per terminal: the phase (0 = OFF, 1 = ON)
+	// and the remaining cycles of the current dwell.
+	state []uint64
+}
+
+// NewOnOff builds an ON/OFF source for the given terminal count with
+// the given mean dwell times in cycles.
+func NewOnOff(terminals, onMean, offMean int, pareto bool) (*OnOff, error) {
+	if onMean < 1 || offMean < 1 {
+		return nil, fmt.Errorf("workload: onoff dwell means must be >= 1 cycle (on=%d, off=%d)", onMean, offMean)
+	}
+	if onMean > maxDwell || offMean > maxDwell {
+		return nil, fmt.Errorf("workload: onoff dwell means must be <= %d cycles (on=%d, off=%d)", maxDwell, onMean, offMean)
+	}
+	return &OnOff{
+		onMean:  onMean,
+		offMean: offMean,
+		pareto:  pareto,
+		scale:   float64(onMean+offMean) / float64(onMean),
+		state:   make([]uint64, 2*terminals),
+	}, nil
+}
+
+// Name implements sim.Source.
+func (s *OnOff) Name() string { return "onoff" }
+
+// Fingerprint implements sim.Source.
+func (s *OnOff) Fingerprint() string {
+	return fmt.Sprintf("onoff on=%d off=%d pareto=%t", s.onMean, s.offMean, s.pareto)
+}
+
+// LoadGated implements the engine's zero-load fast path: a non-positive
+// load silences the source (and freezes dwell state) entirely.
+func (s *OnOff) LoadGated() bool { return true }
+
+// Arrive implements sim.Source. Terminals start with an ON dwell drawn
+// on their first cycle, desynchronised by their per-terminal streams.
+func (s *OnOff) Arrive(t int, now int64, load float64, r *sim.RNG) (bool, int) {
+	st := s.state[2*t : 2*t+2 : 2*t+2]
+	for st[1] == 0 {
+		st[0] ^= 1
+		mean := s.offMean
+		if st[0] == 1 {
+			mean = s.onMean
+		}
+		st[1] = s.dwell(mean, r)
+	}
+	st[1]--
+	if st[0] == 0 {
+		return false, -1
+	}
+	p := load * s.scale
+	if r.Float64() >= p {
+		return false, -1
+	}
+	return true, -1
+}
+
+// dwell draws one dwell time around the given mean, in [1, maxDwell].
+func (s *OnOff) dwell(mean int, r *sim.RNG) uint64 {
+	u := r.Float64() // in [0,1): 1-u is in (0,1], so the logs/powers below are finite
+	var d float64
+	if s.pareto {
+		// Pareto with alpha = 1.5: mean = xm*alpha/(alpha-1) = 3*xm.
+		xm := float64(mean) / 3
+		d = xm / math.Pow(1-u, 1/1.5)
+	} else {
+		d = -float64(mean) * math.Log(1-u)
+	}
+	if d < 1 {
+		return 1
+	}
+	if d > maxDwell {
+		return maxDwell
+	}
+	return uint64(d)
+}
+
+// StateWords implements sim.Source.
+func (s *OnOff) StateWords() int { return 2 }
+
+// SaveState implements sim.Source.
+func (s *OnOff) SaveState(t int, out []uint64) {
+	out[0] = s.state[2*t]
+	out[1] = s.state[2*t+1]
+}
+
+// LoadState implements sim.Source.
+func (s *OnOff) LoadState(t int, in []uint64) error {
+	if in[0] > 1 {
+		return fmt.Errorf("phase word %d is not 0/1", in[0])
+	}
+	if in[1] > maxDwell {
+		return fmt.Errorf("dwell remainder %d over the %d cap", in[1], uint64(maxDwell))
+	}
+	s.state[2*t] = in[0]
+	s.state[2*t+1] = in[1]
+	return nil
+}

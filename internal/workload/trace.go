@@ -1,0 +1,292 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"dragonfly/internal/sim"
+)
+
+// The trace format is line-oriented text, one flow per line:
+//
+//	cycle src dst count
+//
+// where cycle is the earliest cycle the flow may start injecting, src
+// and dst are terminal ids, and count is the number of packets the
+// flow carries (injected on consecutive cycles, subject to the
+// one-packet-per-terminal-per-cycle injection bandwidth — a flow that
+// starts late because its predecessor was still draining simply slides
+// back, which keeps replay deterministic). '#' starts a comment, blank
+// lines are ignored, and each source's flows must appear in
+// nondecreasing cycle order so replay is a single pointer walk.
+
+// ErrBadTrace is the sentinel every trace-parse failure wraps; match it
+// with errors.Is. The concrete error is always a *TraceError carrying
+// the offending line.
+var ErrBadTrace = errors.New("workload: bad trace")
+
+// TraceError describes a rejected trace with the 1-based line it
+// failed on (0 when the failure is not tied to one line).
+type TraceError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *TraceError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("workload: trace line %d: %s", e.Line, e.Msg)
+	}
+	return "workload: trace: " + e.Msg
+}
+
+// Unwrap makes errors.Is(err, ErrBadTrace) hold.
+func (e *TraceError) Unwrap() error { return ErrBadTrace }
+
+// Decode guards: a hostile trace must not drive memory or cycle cost
+// past what its own byte length justifies.
+const (
+	// maxTraceFlows caps the flow count of one trace.
+	maxTraceFlows = 1 << 22
+	// maxFlowCount caps one flow's packet count.
+	maxFlowCount = 1 << 20
+	// maxTraceCycle caps flow start cycles.
+	maxTraceCycle = int64(1) << 40
+)
+
+// Flow is one trace entry: count packets from a source terminal to
+// dst, injectable from cycle At.
+type Flow struct {
+	At    int64
+	Dst   int32
+	Count uint32
+}
+
+// Trace is a parsed flow trace, indexed by source terminal.
+type Trace struct {
+	terminals int
+	flows     [][]Flow // per source, in nondecreasing At order
+	total     int
+	hash      uint64 // FNV-64a over the canonical flow encoding
+}
+
+// ParseTrace parses the timestamped-flow format over a machine with
+// the given terminal count. Failures are *TraceError wrapping
+// ErrBadTrace — never a panic, and never an allocation driven by
+// anything but the input's actual size.
+func ParseTrace(data []byte, terminals int) (*Trace, error) {
+	if terminals <= 0 {
+		return nil, &TraceError{Msg: fmt.Sprintf("terminal count %d must be positive", terminals)}
+	}
+	tr := &Trace{
+		terminals: terminals,
+		flows:     make([][]Flow, terminals),
+	}
+	h := fnv.New64a()
+	line := 0
+	for len(data) > 0 {
+		line++
+		// Take one line.
+		eol := len(data)
+		for i, c := range data {
+			if c == '\n' {
+				eol = i
+				break
+			}
+		}
+		text := data[:eol]
+		if eol < len(data) {
+			data = data[eol+1:]
+		} else {
+			data = nil
+		}
+		// Strip comments and skip blank lines.
+		for i, c := range text {
+			if c == '#' {
+				text = text[:i]
+				break
+			}
+		}
+		fields, ok := splitFields(text)
+		if !ok {
+			return nil, &TraceError{Line: line, Msg: "line does not have exactly 4 fields (cycle src dst count)"}
+		}
+		if fields == nil {
+			continue
+		}
+		at, ok1 := parseInt(fields[0])
+		src, ok2 := parseInt(fields[1])
+		dst, ok3 := parseInt(fields[2])
+		count, ok4 := parseInt(fields[3])
+		if !ok1 || !ok2 || !ok3 || !ok4 {
+			return nil, &TraceError{Line: line, Msg: "fields must be non-negative decimal integers"}
+		}
+		switch {
+		case at > maxTraceCycle:
+			return nil, &TraceError{Line: line, Msg: fmt.Sprintf("cycle %d over the %d cap", at, maxTraceCycle)}
+		case src >= int64(terminals):
+			return nil, &TraceError{Line: line, Msg: fmt.Sprintf("source terminal %d out of range [0,%d)", src, terminals)}
+		case dst >= int64(terminals):
+			return nil, &TraceError{Line: line, Msg: fmt.Sprintf("destination terminal %d out of range [0,%d)", dst, terminals)}
+		case count < 1:
+			return nil, &TraceError{Line: line, Msg: "flow count must be >= 1"}
+		case count > maxFlowCount:
+			return nil, &TraceError{Line: line, Msg: fmt.Sprintf("flow count %d over the %d cap", count, maxFlowCount)}
+		case tr.total >= maxTraceFlows:
+			return nil, &TraceError{Line: line, Msg: fmt.Sprintf("more than %d flows", maxTraceFlows)}
+		}
+		fl := tr.flows[src]
+		if len(fl) > 0 && fl[len(fl)-1].At > at {
+			return nil, &TraceError{Line: line,
+				Msg: fmt.Sprintf("cycle %d regresses from %d for source %d (flows must be nondecreasing per source)", at, fl[len(fl)-1].At, src)}
+		}
+		tr.flows[src] = append(fl, Flow{At: at, Dst: int32(dst), Count: uint32(count)})
+		tr.total++
+		fmt.Fprintf(h, "%d %d %d %d\n", at, src, dst, count)
+	}
+	tr.hash = h.Sum64()
+	return tr, nil
+}
+
+// splitFields splits a trace line into exactly 4 whitespace-separated
+// fields. It returns (nil, true) for an all-blank line and (nil,
+// false) for any other field count.
+func splitFields(line []byte) ([][]byte, bool) {
+	var fields [][]byte
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+			i++
+		}
+		if i == len(line) {
+			break
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' && line[j] != '\t' && line[j] != '\r' {
+			j++
+		}
+		if len(fields) == 4 {
+			return nil, false
+		}
+		fields = append(fields, line[i:j])
+		i = j
+	}
+	if len(fields) == 0 {
+		return nil, true
+	}
+	if len(fields) != 4 {
+		return nil, false
+	}
+	return fields, true
+}
+
+// parseInt parses a non-negative decimal integer without allocating,
+// rejecting empty fields, non-digits and overflow.
+func parseInt(b []byte) (int64, bool) {
+	if len(b) == 0 || len(b) > 18 {
+		return 0, false
+	}
+	var v int64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(c-'0')
+	}
+	return v, true
+}
+
+// Terminals returns the terminal count the trace was parsed against.
+func (tr *Trace) Terminals() int { return tr.terminals }
+
+// Flows returns the total flow count.
+func (tr *Trace) Flows() int { return tr.total }
+
+// Hash returns the FNV-64a digest of the canonical flow encoding,
+// stable across reformatting (comments and spacing don't count).
+func (tr *Trace) Hash() uint64 { return tr.hash }
+
+// TraceReplay replays a parsed Trace: each terminal walks its flow
+// list with a (flow index, packets remaining) cursor, injecting one
+// packet per cycle while a flow is due. The load scalar is ignored —
+// the trace itself is the schedule — so replay also runs during
+// nominally zero-load phases.
+type TraceReplay struct {
+	tr *Trace
+	// state holds two words per terminal: flow index and remaining
+	// packets of the current flow (0 = the flow at index is not yet
+	// started).
+	state []uint64
+}
+
+// NewTraceReplay builds a replay source for tr over a machine with the
+// given terminal count (which must match the count the trace was
+// parsed against — flows index terminals directly).
+func NewTraceReplay(tr *Trace, terminals int) (*TraceReplay, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("workload: nil trace")
+	}
+	if tr.terminals != terminals {
+		return nil, fmt.Errorf("workload: trace is over %d terminals, machine has %d", tr.terminals, terminals)
+	}
+	return &TraceReplay{tr: tr, state: make([]uint64, 2*terminals)}, nil
+}
+
+// Name implements sim.Source.
+func (s *TraceReplay) Name() string { return "trace" }
+
+// Fingerprint implements sim.Source: the trace content digest rides
+// along, so a resume against a different trace is refused.
+func (s *TraceReplay) Fingerprint() string {
+	return fmt.Sprintf("trace n=%d flows=%d h=%016x", s.tr.terminals, s.tr.total, s.tr.hash)
+}
+
+// Arrive implements sim.Source. It consumes no RNG draws: replay is a
+// pure function of the trace and the cycle.
+func (s *TraceReplay) Arrive(t int, now int64, load float64, r *sim.RNG) (bool, int) {
+	st := s.state[2*t : 2*t+2 : 2*t+2]
+	flows := s.tr.flows[t]
+	idx := int(st[0])
+	if st[1] == 0 {
+		if idx >= len(flows) || now < flows[idx].At {
+			return false, -1
+		}
+		st[1] = uint64(flows[idx].Count)
+	}
+	dst := int(flows[idx].Dst)
+	st[1]--
+	if st[1] == 0 {
+		st[0] = uint64(idx + 1)
+	}
+	return true, dst
+}
+
+// StateWords implements sim.Source.
+func (s *TraceReplay) StateWords() int { return 2 }
+
+// SaveState implements sim.Source.
+func (s *TraceReplay) SaveState(t int, out []uint64) {
+	out[0] = s.state[2*t]
+	out[1] = s.state[2*t+1]
+}
+
+// LoadState implements sim.Source.
+func (s *TraceReplay) LoadState(t int, in []uint64) error {
+	flows := s.tr.flows[t]
+	idx, rem := in[0], in[1]
+	if idx > uint64(len(flows)) {
+		return fmt.Errorf("flow index %d past the %d flows of terminal %d", idx, len(flows), t)
+	}
+	if rem > 0 {
+		if idx == uint64(len(flows)) {
+			return fmt.Errorf("%d packets remaining past the last flow of terminal %d", rem, t)
+		}
+		if rem > uint64(flows[idx].Count) {
+			return fmt.Errorf("%d packets remaining of a %d-packet flow", rem, flows[idx].Count)
+		}
+	}
+	s.state[2*t] = idx
+	s.state[2*t+1] = rem
+	return nil
+}

@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dragonfly/internal/sim"
+)
+
+// FuzzTraceParse drives arbitrary bytes through ParseTrace with the
+// same contract FuzzSnapshotDecode pins for the engine decoder: every
+// rejection is a typed *TraceError wrapping ErrBadTrace — never a
+// panic — and a hostile input cannot allocate beyond what its own
+// length justifies (the flow/count/cycle caps). Anything accepted must
+// replay cleanly: NewTraceReplay succeeds and a bounded walk of every
+// terminal's Arrive stays in range.
+func FuzzTraceParse(f *testing.F) {
+	f.Add([]byte("0 0 3 2\n5 1 0 1\n"), 8)
+	f.Add([]byte("# comment only\n\n"), 4)
+	f.Add([]byte("10 3 3 1\n10 3 2 1\n11 3 1 1\n"), 4)
+	f.Add([]byte("1 2 3\n"), 4)
+	f.Add([]byte("999999999999999999 0 0 1\n"), 1)
+	f.Add([]byte(strings.Repeat("7 0 1 9\n", 64)), 2)
+	f.Add([]byte("5 0 1 1\n3 0 1 1\n"), 2)
+	f.Fuzz(func(t *testing.T, data []byte, terminals int) {
+		terminals %= 64
+		tr, err := ParseTrace(data, terminals)
+		if err != nil {
+			var te *TraceError
+			if !errors.Is(err, ErrBadTrace) || !errors.As(err, &te) {
+				t.Fatalf("rejection %v is not a *TraceError wrapping ErrBadTrace", err)
+			}
+			return
+		}
+		rep, err := NewTraceReplay(tr, terminals)
+		if err != nil {
+			t.Fatalf("accepted trace refused by NewTraceReplay: %v", err)
+		}
+		for term := 0; term < terminals; term++ {
+			r := sim.NewRNG(1, uint64(term))
+			for now := int64(0); now < 64; now++ {
+				fire, dst := rep.Arrive(term, now, 1.0, &r)
+				if fire && (dst < 0 || dst >= terminals) {
+					t.Fatalf("replay produced destination %d over %d terminals", dst, terminals)
+				}
+			}
+		}
+	})
+}
